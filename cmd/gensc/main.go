@@ -1,0 +1,81 @@
+// gensc emits synthetic MCNC-like standard-cell circuits as JSON, either
+// from a named preset or from explicit size parameters.
+//
+// Usage:
+//
+//	gensc -preset avq.large -seed 7 -o avq_large.json
+//	gensc -rows 20 -cells 2000 -nets 2200 -pins 7000 -o custom.json
+//	gensc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parroute/internal/gen"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "named benchmark circuit (see -list)")
+		list   = flag.Bool("list", false, "list available presets and exit")
+		seed   = flag.Uint64("seed", 7, "generation seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		rows   = flag.Int("rows", 0, "rows for a custom circuit")
+		cells  = flag.Int("cells", 0, "cells for a custom circuit")
+		nets   = flag.Int("nets", 0, "nets for a custom circuit")
+		pins   = flag.Int("pins", 0, "target pin count for a custom circuit")
+		name   = flag.String("name", "custom", "name of a custom circuit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range gen.AllNames() {
+			cfg, _ := gen.Preset(n)
+			fmt.Printf("%-12s rows=%-3d cells=%-6d nets=%-6d pins=%d\n",
+				n, cfg.Rows, cfg.Cells, cfg.Nets, cfg.TargetPins)
+		}
+		return
+	}
+
+	var cfg gen.Config
+	if *preset != "" {
+		var err error
+		cfg, err = gen.Preset(*preset)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		if *rows == 0 || *cells == 0 || *nets == 0 {
+			fatalf("need -preset, -list, or all of -rows/-cells/-nets")
+		}
+		cfg = gen.Config{Name: *name, Rows: *rows, Cells: *cells, Nets: *nets, TargetPins: *pins}
+	}
+	cfg.Seed = *seed
+
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.WriteJSON(w); err != nil {
+		fatalf("writing: %v", err)
+	}
+	st := c.ComputeStats()
+	fmt.Fprintf(os.Stderr, "gensc: %s: %d rows, %d cells, %d nets, %d pins, core width %d\n",
+		st.Name, st.Rows, st.Cells, st.Nets, st.Pins, st.CoreW)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gensc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// twgr routes a standard-cell circuit with the TimberWolfSC-style global
+// router, serially or with one of the paper's three parallel algorithms.
+//
+// Usage:
+//
+//	twgr -preset primary2                        # serial TWGR
+//	twgr -preset avq.large -algo rowwise -p 8    # parallel, simulated SMP
+//	twgr -in circuit.json -algo hybrid -p 4 -platform dmp
+//	twgr -preset biomed -algo netwise -p 8 -engine inproc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parroute/internal/channel"
+	"parroute/internal/circuit"
+	"parroute/internal/gen"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/parallel"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+	"parroute/internal/viz"
+)
+
+func main() {
+	var (
+		tracks   = flag.Bool("tracks", false, "run the detailed channel router on the result and report assigned tracks")
+		svg      = flag.String("svg", "", "write the routed layout as SVG (serial algorithm only)")
+		preset   = flag.String("preset", "", "route a named synthetic benchmark circuit")
+		in       = flag.String("in", "", "route a circuit from a gensc JSON file")
+		algo     = flag.String("algo", "serial", "serial | rowwise | netwise | hybrid | all")
+		procs    = flag.Int("p", 1, "worker count for the parallel algorithms")
+		engine   = flag.String("engine", "virtual", "virtual | inproc | tcp")
+		platform = flag.String("platform", "smp", "cost model for the virtual engine: smp | dmp")
+		seed     = flag.Uint64("seed", 1, "routing seed")
+		genSeed  = flag.Uint64("gen-seed", 7, "preset generation seed")
+		method   = flag.String("netpart", "pinweight", "net partition: center | locus | density | pinweight")
+		compare  = flag.Bool("compare", false, "also run the serial baseline and report scaled quality")
+		out      = flag.String("out", "", "write the routing result (wires + quality numbers) as JSON")
+		verify   = flag.Bool("verify", false, "check routing invariants after the run (serial algorithm only)")
+		verbose  = flag.Bool("v", false, "print per-phase timings")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*preset, *in, *genSeed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st := c.ComputeStats()
+	fmt.Printf("circuit %s: %d rows, %d cells, %d nets, %d pins\n",
+		st.Name, st.Rows, st.Cells, st.Nets, st.Pins)
+
+	opts := parallel.Options{
+		Procs: *procs,
+		Route: route.Options{Seed: *seed},
+	}
+	switch *engine {
+	case "virtual":
+		opts.Mode = mp.Virtual
+	case "inproc":
+		opts.Mode = mp.Inproc
+	case "tcp":
+		opts.Mode = mp.TCP
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+	switch *platform {
+	case "smp":
+		opts.Model = mp.SMP()
+	case "dmp":
+		opts.Model = mp.DMP()
+	default:
+		fatalf("unknown platform %q", *platform)
+	}
+	found := false
+	for _, m := range partition.Methods() {
+		if m.String() == *method {
+			opts.Net = partition.Config{Method: m}
+			found = true
+		}
+	}
+	if !found {
+		fatalf("unknown net partition %q", *method)
+	}
+
+	if *algo == "all" {
+		compareAll(c, opts)
+		return
+	}
+
+	var res *metrics.Result
+	var routed *circuit.Circuit // post-routing circuit, for -svg
+	switch *algo {
+	case "serial":
+		rt := route.NewRouter(c.Clone(), opts.Route)
+		res = rt.Run()
+		routed = rt.C
+		if *verify {
+			if err := rt.Verify(); err != nil {
+				fatalf("verification failed: %v", err)
+			}
+			fmt.Println("verification passed: every net electrically complete, all invariants hold")
+		}
+	case "rowwise":
+		opts.Algo = parallel.RowWise
+		res, err = parallel.Run(c, opts)
+	case "netwise":
+		opts.Algo = parallel.NetWise
+		res, err = parallel.Run(c, opts)
+	case "hybrid":
+		opts.Algo = parallel.Hybrid
+		res, err = parallel.Run(c, opts)
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatalf("routing: %v", err)
+	}
+	if *verify && *algo != "serial" {
+		fatalf("-verify requires -algo serial (parallel results are checked by the test suite)")
+	}
+
+	report(res, *verbose)
+	if *tracks {
+		sum := channel.RouteAll(c.NumChannels(), res.Wires)
+		fmt.Printf("detailed channel routing: %d assigned tracks (density lower bound %d, "+
+			"%d vertical constraints broken)"+"\n",
+			sum.AssignedTracks, sum.DensityTracks, sum.BrokenConstraints)
+	}
+	if *svg != "" {
+		if routed == nil {
+			fatalf("-svg requires -algo serial (the parallel results hold no merged layout)")
+		}
+		f, err := os.Create(*svg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := viz.WriteSVG(f, routed, res.Wires, viz.Options{}); err != nil {
+			f.Close()
+			fatalf("rendering: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing svg: %v", err)
+		}
+		fmt.Printf("layout written to %s"+"\n", *svg)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fatalf("writing result: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing result: %v", err)
+		}
+		fmt.Printf("result written to %s"+"\n", *out)
+	}
+	if *compare && *algo != "serial" {
+		base, err := parallel.RunBaseline(c, opts)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		fmt.Printf("vs serial: scaled tracks %.3f, scaled area %.3f, speedup %.2f\n",
+			res.ScaledTracks(base), res.ScaledArea(base), res.Speedup(base))
+	}
+}
+
+// compareAll runs the serial baseline and all three parallel algorithms,
+// printing one comparison row each.
+func compareAll(c *circuit.Circuit, opts parallel.Options) {
+	base, err := parallel.RunBaseline(c, opts)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	fmt.Printf("%-8s  %10s  %8s  %13s  %12s\n", "algo", "time", "speedup", "scaled tracks", "feedthroughs")
+	fmt.Printf("%-8s  %10v  %8s  %13s  %12d\n", "serial", base.Elapsed, "1.00", "1.000", base.Feedthroughs)
+	for _, algo := range parallel.Algorithms() {
+		o := opts
+		o.Algo = algo
+		res, err := parallel.Run(c, o)
+		if err != nil {
+			fatalf("%v: %v", algo, err)
+		}
+		fmt.Printf("%-8v  %10v  %8.2f  %13.3f  %12d\n",
+			algo, res.Elapsed, res.Speedup(base), res.ScaledTracks(base), res.Feedthroughs)
+	}
+}
+
+func loadCircuit(preset, in string, seed uint64) (*circuit.Circuit, error) {
+	switch {
+	case preset != "" && in != "":
+		return nil, fmt.Errorf("use -preset or -in, not both")
+	case preset != "":
+		return gen.Benchmark(preset, seed)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ReadJSON(f)
+	}
+	return nil, fmt.Errorf("need -preset or -in")
+}
+
+func report(res *metrics.Result, verbose bool) {
+	fmt.Printf("algorithm %s on %d proc(s): %v\n", res.Algo, res.Procs, res.Elapsed)
+	fmt.Printf("  total tracks: %d\n", res.TotalTracks)
+	fmt.Printf("  area:         %d\n", res.Area)
+	fmt.Printf("  wirelength:   %d\n", res.Wirelength)
+	fmt.Printf("  feedthroughs: %d\n", res.Feedthroughs)
+	fmt.Printf("  switchable:   %d wires, %d flips\n", res.SwitchableWires, res.SwitchFlips)
+	if res.ForcedEdges > 0 {
+		fmt.Printf("  WARNING: %d forced edges (connectivity gaps)\n", res.ForcedEdges)
+	}
+	if verbose {
+		for _, ph := range res.Phases {
+			fmt.Printf("  phase %-16s %v\n", ph.Name, ph.Elapsed)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "twgr: "+format+"\n", args...)
+	os.Exit(1)
+}

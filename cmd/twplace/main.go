@@ -1,0 +1,87 @@
+// twplace is the placement half of the flow: it improves (or first
+// deliberately scrambles, to simulate an unplaced netlist) a standard-cell
+// circuit with the simulated-annealing placer and writes the placed
+// circuit as JSON for twgr to route.
+//
+// Usage:
+//
+//	twplace -preset primary2 -scramble -o placed.json
+//	twgr -in placed.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parroute/internal/circuit"
+	"parroute/internal/gen"
+	"parroute/internal/place"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "start from a named synthetic benchmark circuit")
+		in       = flag.String("in", "", "start from a gensc JSON file")
+		out      = flag.String("o", "", "output file for the placed circuit (default stdout)")
+		seed     = flag.Uint64("seed", 7, "annealing (and generation) seed")
+		scramble = flag.Int("scramble", 0, "random swaps to apply before placing (0 = keep the input placement)")
+		moves    = flag.Int("moves", 0, "annealing moves per cell per temperature step (0 = default)")
+		steps    = flag.Int("steps", 0, "temperature steps (0 = default)")
+	)
+	flag.Parse()
+
+	c, err := load(*preset, *in, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	before := place.TotalHPWL(c)
+	if *scramble > 0 {
+		place.Scramble(c, *seed, *scramble)
+		fmt.Fprintf(os.Stderr, "twplace: scrambled %d swaps: HPWL %d -> %d\n",
+			*scramble, before, place.TotalHPWL(c))
+	}
+	res, err := place.Anneal(c, place.Options{
+		Seed: *seed, MovesPerCell: *moves, Steps: *steps,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "twplace: annealed %d moves (%d accepted): HPWL %d -> %d\n",
+		res.Moves, res.Accepted, res.InitialHPWL, res.FinalHPWL)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.WriteJSON(w); err != nil {
+		fatalf("writing: %v", err)
+	}
+}
+
+func load(preset, in string, seed uint64) (*circuit.Circuit, error) {
+	switch {
+	case preset != "" && in != "":
+		return nil, fmt.Errorf("use -preset or -in, not both")
+	case preset != "":
+		return gen.Benchmark(preset, seed)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ReadJSON(f)
+	}
+	return nil, fmt.Errorf("need -preset or -in")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "twplace: "+format+"\n", args...)
+	os.Exit(1)
+}

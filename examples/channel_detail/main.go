@@ -1,0 +1,85 @@
+// channel_detail closes the loop between the global router and the
+// detailed router: it globally routes a circuit with TWGR, then runs the
+// dogleg-free constrained left-edge channel router on every channel and
+// compares the tracks actually assigned against the density lower bound
+// the global router optimized — per channel and in total. It can also
+// dump the realized layout as SVG.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"parroute/internal/channel"
+	"parroute/internal/gen"
+	"parroute/internal/route"
+	"parroute/internal/viz"
+)
+
+func main() {
+	name := flag.String("circuit", "primary2", "benchmark circuit")
+	seed := flag.Uint64("seed", 7, "circuit and routing seed")
+	svg := flag.String("svg", "", "write the realized layout as SVG")
+	worst := flag.Int("worst", 5, "how many worst channels to list")
+	flag.Parse()
+
+	c, err := gen.Benchmark(*name, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := route.NewRouter(c.Clone(), route.Options{Seed: *seed})
+	res := rt.Run()
+	fmt.Printf("%s globally routed: %d density tracks in %v\n",
+		*name, res.TotalTracks, res.Elapsed)
+
+	sum := channel.RouteAll(c.NumChannels(), res.Wires)
+	fmt.Printf("detailed routing:   %d assigned tracks (+%.1f%% over the lower bound), "+
+		"%d vertical constraints broken\n",
+		sum.AssignedTracks,
+		100*float64(sum.AssignedTracks-sum.DensityTracks)/float64(sum.DensityTracks),
+		sum.BrokenConstraints)
+
+	// Channels where vertical constraints cost the most extra tracks.
+	type over struct{ ch, extra, density int }
+	var overs []over
+	byCh := channel.FromWires(c.NumChannels(), res.Wires)
+	for ch := range byCh {
+		d := channel.Density(byCh[ch])
+		if extra := sum.PerChannel[ch].Tracks - d; extra > 0 {
+			overs = append(overs, over{ch, extra, d})
+		}
+	}
+	for i := 0; i < len(overs); i++ {
+		for j := i + 1; j < len(overs); j++ {
+			if overs[j].extra > overs[i].extra {
+				overs[i], overs[j] = overs[j], overs[i]
+			}
+		}
+	}
+	if len(overs) > *worst {
+		overs = overs[:*worst]
+	}
+	if len(overs) == 0 {
+		fmt.Println("every channel routed at its density lower bound")
+	} else {
+		fmt.Println("channels needing extra tracks for vertical constraints:")
+		for _, o := range overs {
+			fmt.Printf("  channel %3d: density %3d -> %3d tracks (+%d)\n",
+				o.ch, o.density, o.density+o.extra, o.extra)
+		}
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := viz.WriteSVG(f, rt.C, res.Wires, viz.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("layout written to %s\n", *svg)
+	}
+}

@@ -1,0 +1,63 @@
+// mcnc_sweep reproduces the paper's headline experiment end to end: all
+// six MCNC-like circuits, the three parallel algorithms, 2/4/8 workers on
+// the simulated SMP, reporting scaled track counts and speedups against
+// the serial TWGR baseline.
+//
+// This is the long-form version of `benchtab -all`; run with -short for a
+// two-circuit pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parroute/internal/gen"
+	"parroute/internal/parallel"
+	"parroute/internal/route"
+)
+
+func main() {
+	short := flag.Bool("short", false, "only the two smallest circuits")
+	seed := flag.Uint64("seed", 7, "circuit and routing seed")
+	flag.Parse()
+
+	circuits := gen.CircuitNames()
+	if *short {
+		circuits = circuits[:2]
+	}
+	procs := []int{2, 4, 8}
+
+	for _, name := range circuits {
+		c, err := gen.Benchmark(name, *seed)
+		if err != nil {
+			log.Fatalf("generating %s: %v", name, err)
+		}
+		base, err := parallel.RunBaseline(c, parallel.Options{
+			Procs: 1, Route: route.Options{Seed: *seed},
+		})
+		if err != nil {
+			log.Fatalf("serial %s: %v", name, err)
+		}
+		fmt.Printf("\n%s: serial %d tracks in %v\n", name, base.TotalTracks, base.Elapsed)
+		fmt.Printf("  %-8s", "")
+		for _, p := range procs {
+			fmt.Printf("  %12s", fmt.Sprintf("%d procs", p))
+		}
+		fmt.Println()
+		for _, algo := range parallel.Algorithms() {
+			fmt.Printf("  %-8v", algo)
+			for _, p := range procs {
+				res, err := parallel.Run(c, parallel.Options{
+					Algo: algo, Procs: p, Route: route.Options{Seed: *seed},
+				})
+				if err != nil {
+					log.Fatalf("%s %v p=%d: %v", name, algo, p, err)
+				}
+				fmt.Printf("  %5.3f/%5.2fx", res.ScaledTracks(base), res.Speedup(base))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n(cells are scaled-tracks/speedup; scaled tracks 1.000 = serial quality)")
+}

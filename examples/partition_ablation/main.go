@@ -1,0 +1,66 @@
+// partition_ablation compares the paper's four net-partition heuristics
+// (§5) on the clock-heavy avq.large circuit: how evenly each spreads the
+// pin load and the Steiner-construction cost across 8 workers, and what
+// routing quality the hybrid algorithm reaches with each.
+//
+// The paper's recommendation is the pin-number-weight partition, which
+// schedules the giant clock nets first and round-robins them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parroute/internal/gen"
+	"parroute/internal/parallel"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+func main() {
+	name := flag.String("circuit", "avq.large", "benchmark circuit")
+	procs := flag.Int("p", 8, "worker count")
+	seed := flag.Uint64("seed", 7, "circuit and routing seed")
+	flag.Parse()
+
+	c, err := gen.Benchmark(*name, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks, err := partition.RowBlocks(c, *procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := parallel.RunBaseline(c, parallel.Options{
+		Procs: 1, Route: route.Options{Seed: *seed},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %d workers (serial: %d tracks in %v)\n\n",
+		*name, *procs, base.TotalTracks, base.Elapsed)
+	fmt.Printf("%-10s  %14s  %18s  %13s  %8s\n",
+		"method", "pin imbalance", "steiner imbalance", "scaled tracks", "speedup")
+
+	for _, m := range partition.Methods() {
+		owner, err := partition.Nets(c, blocks, *procs, partition.Config{Method: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		load := partition.Load(c, owner, *procs)
+		sload := partition.SteinerLoad(c, owner, *procs)
+		res, err := parallel.Run(c, parallel.Options{
+			Algo:  parallel.Hybrid,
+			Procs: *procs,
+			Route: route.Options{Seed: *seed},
+			Net:   partition.Config{Method: m},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v  %14.2f  %18.2f  %13.3f  %7.2fx\n",
+			m, load.Imbalance, sload.Imbalance, res.ScaledTracks(base), res.Speedup(base))
+	}
+	fmt.Println("\n(imbalance = max worker load / average; 1.00 is perfect)")
+}

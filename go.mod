@@ -1,0 +1,3 @@
+module parroute
+
+go 1.22

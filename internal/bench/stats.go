@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+)
+
+// ScaledTracksStats prints a scaled-track table (2, 3 or 4) where every
+// cell is the mean over several seeds, with the min-max spread — the
+// multi-seed robustness check for the single-seed tables. Each seed draws
+// both a fresh synthetic circuit and fresh routing randomness.
+func ScaledTracksStats(w io.Writer, cfg Config, table int, seeds []uint64) error {
+	algo, err := algoForTable(table)
+	if err != nil {
+		return err
+	}
+	cfg.Normalize()
+	if len(seeds) == 0 {
+		return fmt.Errorf("bench: no seeds given")
+	}
+
+	header := []string{"circuit"}
+	var procs []int
+	for _, p := range cfg.Procs {
+		if p > 1 {
+			procs = append(procs, p)
+			header = append(header, fmt.Sprintf("%d proc", p))
+		}
+	}
+
+	// One suite per seed, so circuits and baselines are cached per seed.
+	suites := make([]*Suite, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		suites[i] = NewSuite(c)
+	}
+
+	var rows [][]string
+	for _, name := range cfg.Circuits {
+		row := []string{name}
+		for _, p := range procs {
+			var sum, min, max float64
+			for i, s := range suites {
+				base, err := s.Baseline(name)
+				if err != nil {
+					return err
+				}
+				r, err := s.Run(name, algo, p, mp.SMP(), 0, partition.PinWeight)
+				if err != nil {
+					return err
+				}
+				scaled := r.ScaledTracks(base)
+				sum += scaled
+				if i == 0 || scaled < min {
+					min = scaled
+				}
+				if i == 0 || scaled > max {
+					max = scaled
+				}
+			}
+			row = append(row, fmt.Sprintf("%.3f [%.3f-%.3f]",
+				sum/float64(len(seeds)), min, max))
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, fmt.Sprintf("Table %d over %d seeds: scaled tracks of the %v algorithm, "+
+		"mean [min-max]", table, len(seeds), algo), header, rows)
+	return nil
+}

@@ -1,0 +1,128 @@
+package channel
+
+import (
+	"testing"
+
+	"parroute/internal/gen"
+	"parroute/internal/rng"
+	"parroute/internal/route"
+)
+
+func TestSplitDoglegsNoInteriorContacts(t *testing.T) {
+	wires := []Wire{{Net: 0, Span: iv(0, 10), Top: []int{0}, Bottom: []int{10}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 1 {
+		t.Fatalf("end contacts should not split: %d pieces", len(pieces))
+	}
+	if pieces[0].Owner != 0 {
+		t.Fatal("owner lost")
+	}
+}
+
+func TestSplitDoglegsInteriorContact(t *testing.T) {
+	wires := []Wire{{Net: 3, Span: iv(0, 20), Top: []int{10}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 2 {
+		t.Fatalf("%d pieces, want 2", len(pieces))
+	}
+	if pieces[0].Span != iv(0, 9) || pieces[1].Span != iv(10, 20) {
+		t.Fatalf("piece spans: %v, %v", pieces[0].Span, pieces[1].Span)
+	}
+	// The contact at the cut belongs to the piece starting there.
+	if len(pieces[0].Top) != 0 || len(pieces[1].Top) != 1 {
+		t.Fatalf("contact distribution: %v / %v", pieces[0].Top, pieces[1].Top)
+	}
+	for _, p := range pieces {
+		if p.Owner != 0 || p.Net != 3 {
+			t.Fatalf("piece metadata lost: %+v", p)
+		}
+	}
+}
+
+func TestSplitDoglegsMultipleCuts(t *testing.T) {
+	wires := []Wire{{Net: 0, Span: iv(0, 30), Top: []int{10}, Bottom: []int{20}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 3 {
+		t.Fatalf("%d pieces, want 3", len(pieces))
+	}
+	// Pieces tile the span, sharing cut columns.
+	if pieces[0].Span != iv(0, 9) || pieces[1].Span != iv(10, 19) || pieces[2].Span != iv(20, 30) {
+		t.Fatalf("spans: %v %v %v", pieces[0].Span, pieces[1].Span, pieces[2].Span)
+	}
+}
+
+func TestDoglegBreaksCycle(t *testing.T) {
+	// The cyclic-VCG instance that the dogleg-free router can only handle
+	// by breaking a constraint routes cleanly with doglegs.
+	wires := []Wire{
+		{Net: 0, Span: iv(0, 30), Top: []int{5}, Bottom: []int{20}},
+		{Net: 1, Span: iv(0, 30), Bottom: []int{5}, Top: []int{20}},
+	}
+	plain := Route(wires)
+	if plain.BrokenConstraints == 0 {
+		t.Fatal("precondition: plain routing should hit the cycle")
+	}
+	dog := RouteDogleg(wires)
+	if dog.BrokenConstraints != 0 {
+		t.Fatalf("dogleg routing still broke %d constraints", dog.BrokenConstraints)
+	}
+	if dog.Doglegs == 0 {
+		t.Fatal("no doglegs introduced")
+	}
+}
+
+func TestDoglegNeverWorseThanPlain(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(30)
+		wires := make([]Wire, n)
+		for i := range wires {
+			a := r.Intn(200)
+			w := Wire{Net: i, Span: iv(a, a+5+r.Intn(60))}
+			for k := 0; k < r.Intn(3); k++ {
+				w.Top = append(w.Top, w.Span.Lo+r.Intn(w.Span.Len()))
+			}
+			for k := 0; k < r.Intn(3); k++ {
+				w.Bottom = append(w.Bottom, w.Span.Lo+r.Intn(w.Span.Len()))
+			}
+			wires[i] = w
+		}
+		plain := Route(wires)
+		dog := RouteDogleg(wires)
+		if dog.Tracks > plain.Tracks {
+			t.Fatalf("trial %d: dogleg used %d tracks vs plain %d", trial, dog.Tracks, plain.Tracks)
+		}
+		if d := Density(wires); dog.Tracks < d {
+			t.Fatalf("trial %d: dogleg beat the density lower bound (%d < %d)",
+				trial, dog.Tracks, d)
+		}
+	}
+}
+
+func TestDoglegOnRealCircuit(t *testing.T) {
+	// The router's wires are two-terminal (contacts at span ends), so
+	// restricted doglegging has nothing to split: this is a
+	// characterization test that RouteDogleg degrades gracefully to the
+	// plain result on such populations.
+	c := gen.Small(3)
+	res := route.Route(c, route.Options{Seed: 1})
+	byCh := FromWires(c.NumChannels(), res.Wires)
+	plain := RouteAll(c.NumChannels(), res.Wires)
+	dogTracks, doglegs, broken := RouteAllDogleg(c.NumChannels(), byCh)
+	if dogTracks > plain.AssignedTracks {
+		t.Fatalf("dogleg %d tracks vs plain %d", dogTracks, plain.AssignedTracks)
+	}
+	if dogTracks < plain.DensityTracks {
+		t.Fatalf("dogleg %d below density bound %d", dogTracks, plain.DensityTracks)
+	}
+	if broken > plain.BrokenConstraints {
+		t.Fatalf("dogleg broke more constraints (%d) than plain (%d)",
+			broken, plain.BrokenConstraints)
+	}
+	if doglegs != 0 || dogTracks != plain.AssignedTracks {
+		t.Fatalf("two-terminal wires should route identically: doglegs=%d tracks=%d vs %d",
+			doglegs, dogTracks, plain.AssignedTracks)
+	}
+	t.Logf("density=%d plain=%d dogleg=%d (doglegs=%d)",
+		plain.DensityTracks, plain.AssignedTracks, dogTracks, doglegs)
+}

@@ -1,0 +1,492 @@
+// Package circuit models a row-based standard-cell design the way the
+// TimberWolfSC global router sees it: rows of cells, pins on cells, nets
+// over pins, and feedthrough cells inserted during routing.
+//
+// Geometry convention: rows are numbered bottom-up, 0..NumRows-1. Between
+// and around the rows lie NumRows+1 routing channels; channel c runs below
+// row c (so channel 0 is under the bottom row and channel NumRows is above
+// the top row). A pin on the Bottom edge of a cell in row r is reachable
+// from channel r; a Top pin from channel r+1; a pin with an electrically
+// equivalent twin on the opposite edge (side Both) from either.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"parroute/internal/geom"
+)
+
+// Side identifies which cell edge(s) a pin is on.
+type Side uint8
+
+const (
+	// Bottom pins face the channel below the pin's row.
+	Bottom Side = iota
+	// Top pins face the channel above the pin's row.
+	Top
+	// Both marks a pin with an electrically equivalent pin on the opposite
+	// cell edge; it is reachable from either adjacent channel. Feedthrough
+	// pins are always Both.
+	Both
+)
+
+func (s Side) String() string {
+	switch s {
+	case Bottom:
+		return "bottom"
+	case Top:
+		return "top"
+	case Both:
+		return "both"
+	}
+	return fmt.Sprintf("Side(%d)", uint8(s))
+}
+
+// NoCell is the Cell value of a pin not attached to any cell (a fake pin
+// introduced by the row-wise parallel algorithm; such pins keep their
+// position when feedthrough insertion shifts cells).
+const NoCell = -1
+
+// NoNet is the Net value of a pin not connected to any net.
+const NoNet = -1
+
+// Pin is a connection point. X and Row are absolute coordinates, kept in
+// sync with the owning cell (if any) when cells shift.
+type Pin struct {
+	ID     int
+	Net    int  // net index, or NoNet
+	Cell   int  // cell index, or NoCell for fake pins
+	Offset int  // x offset from the owning cell's left edge (0 if no cell)
+	X      int  // absolute x coordinate
+	Row    int  // row index
+	Side   Side // cell edge(s) the pin is on
+	Fake   bool // true for boundary pins added by the parallel algorithms
+}
+
+// Channels returns the routing channels from which the pin is reachable.
+// The second value is only meaningful when two channels are returned
+// (ok == true); for single-channel pins it equals the first.
+func (p *Pin) Channels() (lo, hi int, both bool) {
+	switch p.Side {
+	case Bottom:
+		return p.Row, p.Row, false
+	case Top:
+		return p.Row + 1, p.Row + 1, false
+	default:
+		return p.Row, p.Row + 1, true
+	}
+}
+
+// Point returns the pin position with the row index as y.
+func (p *Pin) Point() geom.Point { return geom.Point{X: p.X, Y: p.Row} }
+
+// Cell is a placed standard cell (or an inserted feedthrough cell).
+type Cell struct {
+	ID    int
+	Row   int
+	X     int // left edge
+	Width int
+	Pins  []int // pin IDs on this cell
+	Feed  bool  // true for feedthrough cells inserted by the router
+}
+
+// Net is a set of electrically connected pins.
+type Net struct {
+	ID   int
+	Name string
+	Pins []int // pin IDs
+}
+
+// Row is an ordered strip of cells.
+type Row struct {
+	ID    int
+	Cells []int // cell IDs, left to right
+}
+
+// Circuit is a complete standard-cell design plus everything the router
+// adds to it (feedthrough cells, fake pins).
+type Circuit struct {
+	Name string
+	Rows []Row
+	// Cells, Pins and Nets are indexed by their IDs; entries are appended,
+	// never removed, so IDs stay stable across feedthrough insertion.
+	Cells []Cell
+	Pins  []Pin
+	Nets  []Net
+
+	// CellHeight is the uniform row height, FeedWidth the width of an
+	// inserted feedthrough cell, both in the same x units as cell widths.
+	CellHeight int
+	FeedWidth  int
+
+	// fakeByRow indexes fake pins by row so feedthrough insertion can
+	// shift them along with the row's cells. (The paper keeps fake pins
+	// frozen; see DESIGN.md for why this reproduction tracks the shift.)
+	fakeByRow map[int][]int
+}
+
+// NumChannels returns the number of routing channels (rows + 1).
+func (c *Circuit) NumChannels() int { return len(c.Rows) + 1 }
+
+// RowWidth returns the occupied width of row r (right edge of its last
+// cell), or 0 for an empty row.
+func (c *Circuit) RowWidth(r int) int {
+	row := &c.Rows[r]
+	if len(row.Cells) == 0 {
+		return 0
+	}
+	last := &c.Cells[row.Cells[len(row.Cells)-1]]
+	return last.X + last.Width
+}
+
+// CoreWidth returns the widest row's width: the horizontal extent of the
+// placement.
+func (c *Circuit) CoreWidth() int {
+	w := 0
+	for r := range c.Rows {
+		w = geom.Max(w, c.RowWidth(r))
+	}
+	return w
+}
+
+// AddRow appends an empty row and returns its index.
+func (c *Circuit) AddRow() int {
+	id := len(c.Rows)
+	c.Rows = append(c.Rows, Row{ID: id})
+	return id
+}
+
+// AddCell appends a cell at the right end of row r and returns its ID.
+// The caller provides the width; the x position follows the previous cell.
+func (c *Circuit) AddCell(r, width int) int {
+	id := len(c.Cells)
+	x := c.RowWidth(r)
+	c.Cells = append(c.Cells, Cell{ID: id, Row: r, X: x, Width: width})
+	c.Rows[r].Cells = append(c.Rows[r].Cells, id)
+	return id
+}
+
+// AddNet appends an empty net and returns its ID.
+func (c *Circuit) AddNet(name string) int {
+	id := len(c.Nets)
+	c.Nets = append(c.Nets, Net{ID: id, Name: name})
+	return id
+}
+
+// AddPin creates a pin on cell cellID at the given offset and side and
+// attaches it to net netID (which may be NoNet). It returns the pin ID.
+func (c *Circuit) AddPin(cellID, netID, offset int, side Side) int {
+	cell := &c.Cells[cellID]
+	id := len(c.Pins)
+	c.Pins = append(c.Pins, Pin{
+		ID: id, Net: netID, Cell: cellID, Offset: offset,
+		X: cell.X + offset, Row: cell.Row, Side: side,
+	})
+	cell.Pins = append(cell.Pins, id)
+	if netID != NoNet {
+		c.Nets[netID].Pins = append(c.Nets[netID].Pins, id)
+	}
+	return id
+}
+
+// AddFakePin creates a cell-less pin at absolute position (x, row) attached
+// to net netID. Fake pins represent a net's crossing point on a partition
+// boundary; they are reachable from the side's channel only.
+func (c *Circuit) AddFakePin(netID, x, row int, side Side) int {
+	id := len(c.Pins)
+	c.Pins = append(c.Pins, Pin{
+		ID: id, Net: netID, Cell: NoCell,
+		X: x, Row: row, Side: side, Fake: true,
+	})
+	if netID != NoNet {
+		c.Nets[netID].Pins = append(c.Nets[netID].Pins, id)
+	}
+	if c.fakeByRow == nil {
+		c.fakeByRow = make(map[int][]int)
+	}
+	c.fakeByRow[row] = append(c.fakeByRow[row], id)
+	return id
+}
+
+// InsertFeedthrough inserts a feedthrough cell into row r as close as
+// possible to x, shifting every cell at or right of the insertion point
+// (and the pins on them) by the feedthrough width. It returns the ID of the
+// feedthrough's pin, which is attached to net netID.
+func (c *Circuit) InsertFeedthrough(r, x, netID int) int {
+	row := &c.Rows[r]
+	// Find the first cell whose left edge is >= x; insert before it.
+	idx := sort.Search(len(row.Cells), func(i int) bool {
+		return c.Cells[row.Cells[i]].X >= x
+	})
+	var at int
+	if idx == 0 {
+		at = 0
+		if len(row.Cells) > 0 {
+			at = geom.Min(x, c.Cells[row.Cells[0]].X)
+		}
+		if at < 0 {
+			at = 0
+		}
+	} else {
+		prev := &c.Cells[row.Cells[idx-1]]
+		at = prev.X + prev.Width
+	}
+
+	cellID := len(c.Cells)
+	c.Cells = append(c.Cells, Cell{
+		ID: cellID, Row: r, X: at, Width: c.FeedWidth, Feed: true,
+	})
+	row.Cells = append(row.Cells, 0)
+	copy(row.Cells[idx+1:], row.Cells[idx:])
+	row.Cells[idx] = cellID
+
+	// Shift everything to the right of the insertion point — cells, their
+	// pins, and the fake pins registered on this row, so boundary
+	// hand-off points drift with the layout around them instead of
+	// stretching every boundary wire by the accumulated insertion width.
+	for _, cid := range row.Cells[idx+1:] {
+		cell := &c.Cells[cid]
+		cell.X += c.FeedWidth
+		for _, pid := range cell.Pins {
+			c.Pins[pid].X += c.FeedWidth
+		}
+	}
+	for _, pid := range c.fakeByRow[r] {
+		if c.Pins[pid].X >= at {
+			c.Pins[pid].X += c.FeedWidth
+		}
+	}
+
+	pinID := c.AddPin(cellID, netID, c.FeedWidth/2, Both)
+	return pinID
+}
+
+// NetPins returns the pins of net n in ID order.
+func (c *Circuit) NetPins(n int) []*Pin {
+	net := &c.Nets[n]
+	out := make([]*Pin, len(net.Pins))
+	for i, pid := range net.Pins {
+		out[i] = &c.Pins[pid]
+	}
+	return out
+}
+
+// NetBBox returns the bounding box of net n's pins (x by row index). It
+// panics for a pinless net.
+func (c *Circuit) NetBBox(n int) geom.Rect {
+	pins := c.Nets[n].Pins
+	if len(pins) == 0 {
+		panic(fmt.Sprintf("circuit: net %d has no pins", n))
+	}
+	pts := make([]geom.Point, len(pins))
+	for i, pid := range pins {
+		pts[i] = c.Pins[pid].Point()
+	}
+	return geom.RectFromPoints(pts)
+}
+
+// Stats summarizes a circuit the way the paper's Table 1 does.
+type Stats struct {
+	Name     string
+	Rows     int
+	Cells    int // placement cells, excluding inserted feedthroughs
+	Feeds    int // inserted feedthrough cells
+	Pins     int // pins on placement cells (excluding feedthrough and fake pins)
+	Nets     int
+	MaxDeg   int // largest net degree
+	AvgDeg   float64
+	CoreW    int
+	TotalPin int // all pins including feedthrough and fake pins
+}
+
+// ComputeStats gathers summary statistics.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{Name: c.Name, Rows: len(c.Rows), Nets: len(c.Nets), CoreW: c.CoreWidth()}
+	for i := range c.Cells {
+		if c.Cells[i].Feed {
+			s.Feeds++
+		} else {
+			s.Cells++
+		}
+	}
+	for i := range c.Pins {
+		p := &c.Pins[i]
+		s.TotalPin++
+		if !p.Fake && p.Cell != NoCell && !c.Cells[p.Cell].Feed {
+			s.Pins++
+		}
+	}
+	deg := 0
+	for i := range c.Nets {
+		d := len(c.Nets[i].Pins)
+		deg += d
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+	}
+	if len(c.Nets) > 0 {
+		s.AvgDeg = float64(deg) / float64(len(c.Nets))
+	}
+	return s
+}
+
+// Clone returns a deep copy of the circuit. Parallel workers clone the parts
+// of a circuit they own so they can insert feedthroughs independently.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Name:       c.Name,
+		CellHeight: c.CellHeight,
+		FeedWidth:  c.FeedWidth,
+		Rows:       make([]Row, len(c.Rows)),
+		Cells:      make([]Cell, len(c.Cells)),
+		Pins:       make([]Pin, len(c.Pins)),
+		Nets:       make([]Net, len(c.Nets)),
+	}
+	copy(out.Cells, c.Cells)
+	copy(out.Pins, c.Pins)
+	if c.fakeByRow != nil {
+		out.fakeByRow = make(map[int][]int, len(c.fakeByRow))
+		for row, ids := range c.fakeByRow {
+			out.fakeByRow[row] = append([]int(nil), ids...)
+		}
+	}
+	// Shared backing arrays keep the clone at a handful of allocations —
+	// the parallel workers clone per rank, so this is on their hot path.
+	total := 0
+	for i := range c.Rows {
+		total += len(c.Rows[i].Cells)
+	}
+	for i := range c.Cells {
+		total += len(c.Cells[i].Pins)
+	}
+	for i := range c.Nets {
+		total += len(c.Nets[i].Pins)
+	}
+	// Full slice expressions cap every sub-slice at its own length so a
+	// later append (feedthrough insertion grows row and net lists) copies
+	// out instead of clobbering the neighbor's region.
+	backing := make([]int, 0, total)
+	take := func(src []int) []int {
+		lo := len(backing)
+		backing = append(backing, src...)
+		return backing[lo:len(backing):len(backing)]
+	}
+	for i := range c.Rows {
+		out.Rows[i] = Row{ID: c.Rows[i].ID, Cells: take(c.Rows[i].Cells)}
+	}
+	for i := range c.Cells {
+		out.Cells[i].Pins = take(c.Cells[i].Pins)
+	}
+	for i := range c.Nets {
+		out.Nets[i] = Net{ID: c.Nets[i].ID, Name: c.Nets[i].Name, Pins: take(c.Nets[i].Pins)}
+	}
+	return out
+}
+
+// Validate checks internal consistency: row/cell/pin/net cross-references,
+// cell ordering and non-overlap within rows, and pin position coherence.
+// It returns the first problem found, or nil.
+func (c *Circuit) Validate() error {
+	for r := range c.Rows {
+		row := &c.Rows[r]
+		if row.ID != r {
+			return fmt.Errorf("row %d has ID %d", r, row.ID)
+		}
+		x := -1 << 60
+		for _, cid := range row.Cells {
+			if cid < 0 || cid >= len(c.Cells) {
+				return fmt.Errorf("row %d references cell %d out of range", r, cid)
+			}
+			cell := &c.Cells[cid]
+			if cell.Row != r {
+				return fmt.Errorf("cell %d in row %d claims row %d", cid, r, cell.Row)
+			}
+			if cell.X < x {
+				return fmt.Errorf("cell %d at x=%d overlaps previous cell ending at %d in row %d",
+					cid, cell.X, x, r)
+			}
+			if cell.Width <= 0 {
+				return fmt.Errorf("cell %d has non-positive width %d", cid, cell.Width)
+			}
+			x = cell.X + cell.Width
+		}
+	}
+	for i := range c.Cells {
+		cell := &c.Cells[i]
+		if cell.ID != i {
+			return fmt.Errorf("cell %d has ID %d", i, cell.ID)
+		}
+		if cell.Row < 0 || cell.Row >= len(c.Rows) {
+			return fmt.Errorf("cell %d has row %d out of range", i, cell.Row)
+		}
+		found := false
+		for _, cid := range c.Rows[cell.Row].Cells {
+			if cid == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("cell %d missing from its row %d", i, cell.Row)
+		}
+		for _, pid := range cell.Pins {
+			if pid < 0 || pid >= len(c.Pins) {
+				return fmt.Errorf("cell %d references pin %d out of range", i, pid)
+			}
+			if c.Pins[pid].Cell != i {
+				return fmt.Errorf("pin %d on cell %d claims cell %d", pid, i, c.Pins[pid].Cell)
+			}
+		}
+	}
+	for i := range c.Pins {
+		p := &c.Pins[i]
+		if p.ID != i {
+			return fmt.Errorf("pin %d has ID %d", i, p.ID)
+		}
+		if p.Row < 0 || p.Row >= len(c.Rows) {
+			return fmt.Errorf("pin %d has row %d out of range", i, p.Row)
+		}
+		if p.Cell != NoCell {
+			cell := &c.Cells[p.Cell]
+			if p.X != cell.X+p.Offset {
+				return fmt.Errorf("pin %d at x=%d but cell %d at x=%d with offset %d",
+					i, p.X, p.Cell, cell.X, p.Offset)
+			}
+			if p.Row != cell.Row {
+				return fmt.Errorf("pin %d row %d disagrees with cell %d row %d",
+					i, p.Row, p.Cell, cell.Row)
+			}
+		}
+		if p.Net != NoNet {
+			if p.Net < 0 || p.Net >= len(c.Nets) {
+				return fmt.Errorf("pin %d has net %d out of range", i, p.Net)
+			}
+			found := false
+			for _, pid := range c.Nets[p.Net].Pins {
+				if pid == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("pin %d missing from its net %d", i, p.Net)
+			}
+		}
+	}
+	for i := range c.Nets {
+		net := &c.Nets[i]
+		if net.ID != i {
+			return fmt.Errorf("net %d has ID %d", i, net.ID)
+		}
+		for _, pid := range net.Pins {
+			if pid < 0 || pid >= len(c.Pins) {
+				return fmt.Errorf("net %d references pin %d out of range", i, pid)
+			}
+			if c.Pins[pid].Net != i {
+				return fmt.Errorf("pin %d in net %d claims net %d", pid, i, c.Pins[pid].Net)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package circuit
+
+import (
+	"testing"
+)
+
+// buildTiny makes a 2-row circuit: two cells per row, one net across rows,
+// one net within a row.
+func buildTiny(t *testing.T) *Circuit {
+	t.Helper()
+	c := &Circuit{Name: "tiny", CellHeight: 10, FeedWidth: 2}
+	r0 := c.AddRow()
+	r1 := c.AddRow()
+	c0 := c.AddCell(r0, 8)
+	c1 := c.AddCell(r0, 6)
+	c2 := c.AddCell(r1, 8)
+	c3 := c.AddCell(r1, 8)
+	n0 := c.AddNet("cross")
+	n1 := c.AddNet("flat")
+	c.AddPin(c0, n0, 2, Bottom)
+	c.AddPin(c2, n0, 4, Top)
+	c.AddPin(c1, n1, 1, Both)
+	c.AddPin(c3, n1, 3, Bottom)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("tiny circuit invalid: %v", err)
+	}
+	return c
+}
+
+func TestAddCellPositions(t *testing.T) {
+	c := buildTiny(t)
+	if c.Cells[0].X != 0 || c.Cells[1].X != 8 {
+		t.Fatalf("row 0 cell positions: %d, %d", c.Cells[0].X, c.Cells[1].X)
+	}
+	if c.RowWidth(0) != 14 || c.RowWidth(1) != 16 {
+		t.Fatalf("row widths: %d, %d", c.RowWidth(0), c.RowWidth(1))
+	}
+	if c.CoreWidth() != 16 {
+		t.Fatalf("core width: %d", c.CoreWidth())
+	}
+	if c.NumChannels() != 3 {
+		t.Fatalf("channels: %d", c.NumChannels())
+	}
+}
+
+func TestPinPositionsAndChannels(t *testing.T) {
+	c := buildTiny(t)
+	p := &c.Pins[0] // cell 0 offset 2, Bottom, row 0
+	if p.X != 2 || p.Row != 0 {
+		t.Fatalf("pin 0 at (%d, row %d)", p.X, p.Row)
+	}
+	lo, hi, both := p.Channels()
+	if lo != 0 || hi != 0 || both {
+		t.Fatalf("bottom pin channels = %d..%d both=%v", lo, hi, both)
+	}
+	p = &c.Pins[1] // Top, row 1
+	lo, hi, both = p.Channels()
+	if lo != 2 || hi != 2 || both {
+		t.Fatalf("top pin channels = %d..%d both=%v", lo, hi, both)
+	}
+	p = &c.Pins[2] // Both, row 0
+	lo, hi, both = p.Channels()
+	if lo != 0 || hi != 1 || !both {
+		t.Fatalf("both pin channels = %d..%d both=%v", lo, hi, both)
+	}
+}
+
+func TestInsertFeedthroughShiftsCellsAndPins(t *testing.T) {
+	c := buildTiny(t)
+	// Insert into row 0 at x=8 (between cell 0 and cell 1).
+	pinID := c.InsertFeedthrough(0, 8, 0)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("after insertion: %v", err)
+	}
+	ft := &c.Pins[pinID]
+	if ft.Net != 0 || ft.Side != Both || ft.Row != 0 {
+		t.Fatalf("feedthrough pin = %+v", ft)
+	}
+	ftCell := &c.Cells[ft.Cell]
+	if !ftCell.Feed || ftCell.X != 8 || ftCell.Width != 2 {
+		t.Fatalf("feedthrough cell = %+v", ftCell)
+	}
+	// Cell 1 and its pin must have shifted by FeedWidth.
+	if c.Cells[1].X != 10 {
+		t.Fatalf("cell 1 x = %d, want 10", c.Cells[1].X)
+	}
+	if c.Pins[2].X != 11 { // was 8+1=9, now 10+1=11
+		t.Fatalf("pin on shifted cell at x=%d, want 11", c.Pins[2].X)
+	}
+	// Cell 0 must not have moved.
+	if c.Cells[0].X != 0 || c.Pins[0].X != 2 {
+		t.Fatal("cells left of the insertion moved")
+	}
+	// Row width grew.
+	if c.RowWidth(0) != 16 {
+		t.Fatalf("row width = %d, want 16", c.RowWidth(0))
+	}
+	// The net gained the feedthrough pin.
+	found := false
+	for _, pid := range c.Nets[0].Pins {
+		if pid == pinID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("feedthrough pin not attached to its net")
+	}
+}
+
+func TestInsertFeedthroughAtRowEnds(t *testing.T) {
+	c := buildTiny(t)
+	// Before everything.
+	c.InsertFeedthrough(0, 0, NoNet)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("insert at start: %v", err)
+	}
+	// Far beyond the row end.
+	c.InsertFeedthrough(0, 10000, NoNet)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("insert at end: %v", err)
+	}
+	last := c.Rows[0].Cells[len(c.Rows[0].Cells)-1]
+	if !c.Cells[last].Feed {
+		t.Fatal("append-insert should land at the row end")
+	}
+}
+
+func TestInsertFeedthroughShiftsFakePins(t *testing.T) {
+	c := buildTiny(t)
+	f1 := c.AddFakePin(0, 12, 0, Top) // right of the upcoming insertion
+	f2 := c.AddFakePin(0, 4, 0, Top)  // left of it
+	c.InsertFeedthrough(0, 8, NoNet)
+	if c.Pins[f1].X != 14 {
+		t.Fatalf("fake pin right of insertion at x=%d, want 14", c.Pins[f1].X)
+	}
+	if c.Pins[f2].X != 4 {
+		t.Fatalf("fake pin left of insertion moved to x=%d", c.Pins[f2].X)
+	}
+}
+
+func TestFakePin(t *testing.T) {
+	c := buildTiny(t)
+	id := c.AddFakePin(1, 7, 1, Bottom)
+	p := &c.Pins[id]
+	if !p.Fake || p.Cell != NoCell || p.X != 7 || p.Row != 1 {
+		t.Fatalf("fake pin = %+v", p)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("circuit with fake pin invalid: %v", err)
+	}
+	found := false
+	for _, pid := range c.Nets[1].Pins {
+		if pid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fake pin not attached to its net")
+	}
+}
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	c := buildTiny(t)
+	cl := c.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Mutating the clone must not touch the original.
+	cl.InsertFeedthrough(0, 8, 0)
+	cl.AddFakePin(1, 3, 0, Top)
+	cl.Nets[1].Pins = append(cl.Nets[1].Pins, 0)
+	if len(c.Cells) != 4 {
+		t.Fatalf("original gained cells: %d", len(c.Cells))
+	}
+	if len(c.Pins) != 4 {
+		t.Fatalf("original gained pins: %d", len(c.Pins))
+	}
+	if len(c.Nets[1].Pins) != 2 {
+		t.Fatalf("original net 1 has %d pins", len(c.Nets[1].Pins))
+	}
+	if c.Cells[1].X != 8 {
+		t.Fatal("original cell positions changed")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestCloneSharedBackingSafety(t *testing.T) {
+	// Appending to one net's pin list in a clone must not clobber the
+	// next net's list (the clone uses one backing array with capped caps).
+	c := buildTiny(t)
+	cl := c.Clone()
+	before := append([]int(nil), cl.Nets[1].Pins...)
+	cl.Nets[0].Pins = append(cl.Nets[0].Pins, 99)
+	for i, pid := range cl.Nets[1].Pins {
+		if pid != before[i] {
+			t.Fatalf("net 1 pins corrupted by append to net 0: %v vs %v", cl.Nets[1].Pins, before)
+		}
+	}
+	// Same for rows.
+	r0 := append([]int(nil), cl.Rows[1].Cells...)
+	cl.Rows[0].Cells = append(cl.Rows[0].Cells, 98)
+	for i, cid := range cl.Rows[1].Cells {
+		if cid != r0[i] {
+			t.Fatal("row 1 cells corrupted by append to row 0")
+		}
+	}
+}
+
+func TestNetBBox(t *testing.T) {
+	c := buildTiny(t)
+	bb := c.NetBBox(0) // pins at (2, row0) and (4, row1)
+	if bb.MinX != 2 || bb.MaxX != 4 || bb.MinY != 0 || bb.MaxY != 1 {
+		t.Fatalf("bbox = %v", bb)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildTiny(t)
+	c.InsertFeedthrough(0, 8, 0)
+	c.AddFakePin(1, 3, 0, Top)
+	s := c.ComputeStats()
+	if s.Rows != 2 || s.Cells != 4 || s.Feeds != 1 || s.Nets != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Pins != 4 { // regular pins only
+		t.Fatalf("stats.Pins = %d, want 4", s.Pins)
+	}
+	if s.TotalPin != 6 { // + feedthrough pin + fake pin
+		t.Fatalf("stats.TotalPin = %d, want 6", s.TotalPin)
+	}
+	if s.MaxDeg != 3 { // net 0 gained the ft pin
+		t.Fatalf("stats.MaxDeg = %d", s.MaxDeg)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	check := func(name string, corrupt func(c *Circuit)) {
+		c := buildTiny(t)
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupted circuit", name)
+		}
+	}
+	check("pin-x-desync", func(c *Circuit) { c.Pins[0].X = 99 })
+	check("pin-row-desync", func(c *Circuit) { c.Pins[0].Row = 1 })
+	check("cell-overlap", func(c *Circuit) { c.Cells[1].X = 3 })
+	check("cell-zero-width", func(c *Circuit) { c.Cells[0].Width = 0 })
+	check("net-dangling-pin", func(c *Circuit) { c.Nets[0].Pins = append(c.Nets[0].Pins, 999) })
+	check("pin-wrong-net", func(c *Circuit) { c.Pins[0].Net = 1 })
+	check("cell-wrong-row", func(c *Circuit) { c.Cells[0].Row = 1 })
+	check("pin-bad-row", func(c *Circuit) { c.Pins[0].Row = 7; c.Cells[0].Row = 7 })
+}
+
+func TestSideString(t *testing.T) {
+	if Bottom.String() != "bottom" || Top.String() != "top" || Both.String() != "both" {
+		t.Fatal("side names wrong")
+	}
+	if Side(9).String() == "" {
+		t.Fatal("unknown side should still format")
+	}
+}

@@ -1,0 +1,77 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := buildTiny(t)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || got.CellHeight != c.CellHeight || got.FeedWidth != c.FeedWidth {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Cells) != len(c.Cells) || len(got.Pins) != len(c.Pins) || len(got.Nets) != len(c.Nets) {
+		t.Fatalf("sizes: cells %d/%d pins %d/%d nets %d/%d",
+			len(got.Cells), len(c.Cells), len(got.Pins), len(c.Pins), len(got.Nets), len(c.Nets))
+	}
+	for i := range c.Cells {
+		if got.Cells[i].X != c.Cells[i].X || got.Cells[i].Width != c.Cells[i].Width ||
+			got.Cells[i].Row != c.Cells[i].Row {
+			t.Fatalf("cell %d mismatch: %+v vs %+v", i, got.Cells[i], c.Cells[i])
+		}
+	}
+	// Pin IDs are renumbered cell-by-cell on load; compare per cell.
+	for i := range c.Cells {
+		wantPins := c.Cells[i].Pins
+		gotPins := got.Cells[i].Pins
+		if len(wantPins) != len(gotPins) {
+			t.Fatalf("cell %d pin count %d vs %d", i, len(gotPins), len(wantPins))
+		}
+		for j := range wantPins {
+			w, g := c.Pins[wantPins[j]], got.Pins[gotPins[j]]
+			if g.X != w.X || g.Net != w.Net || g.Side != w.Side || g.Offset != w.Offset {
+				t.Fatalf("cell %d pin %d mismatch: %+v vs %+v", i, j, g, w)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped circuit invalid: %v", err)
+	}
+}
+
+func TestJSONRejectsRoutedCircuits(t *testing.T) {
+	c := buildTiny(t)
+	c.InsertFeedthrough(0, 8, 0)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err == nil {
+		t.Fatal("serialized a circuit with feedthrough cells")
+	}
+	c2 := buildTiny(t)
+	c2.AddFakePin(0, 3, 0, Top)
+	if err := c2.WriteJSON(&buf); err == nil {
+		t.Fatal("serialized a circuit with fake pins")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "hello",
+		"bad cell row": `{"name":"x","cellHeight":10,"feedWidth":2,"rows":[[0]],"cells":[{"row":5,"x":0,"width":4,"pins":[]}],"nets":[]}`,
+		"bad net ref":  `{"name":"x","cellHeight":10,"feedWidth":2,"rows":[[0]],"cells":[{"row":0,"x":0,"width":4,"pins":[{"net":3,"offset":0,"side":0}]}],"nets":[]}`,
+		"bad row ref":  `{"name":"x","cellHeight":10,"feedWidth":2,"rows":[[7]],"cells":[{"row":0,"x":0,"width":4,"pins":[]}],"nets":[]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

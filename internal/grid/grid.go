@@ -1,0 +1,187 @@
+// Package grid implements the coarse global-routing grid of TWGR's step 2.
+//
+// The core is cut into vertical columns of ColWidth x units. For every
+// routing channel the grid tracks how many horizontal wire runs cross each
+// column (channel density), and for every cell row it tracks how many
+// vertical runs cross the row at each column (feedthrough demand). Both are
+// plain counters, so grids from different workers can be summed — that is
+// exactly the synchronization the net-wise parallel algorithm performs.
+//
+// Cost queries use the standard incremental sum-of-squares congestion
+// proxy: adding a wire to a column of density d costs 2d+1 (the increase of
+// d^2), so minimizing total cost approximately minimizes peak density.
+// Feedthrough demand uses the same form scaled by FtBase, making clustered
+// feedthroughs (which stretch a row) progressively more expensive.
+package grid
+
+import (
+	"fmt"
+
+	"parroute/internal/geom"
+)
+
+// Grid holds channel-density and feedthrough-demand counters.
+type Grid struct {
+	Rows     int // cell rows
+	Channels int // Rows + 1
+	Cols     int
+	ColWidth int
+
+	// Dens[ch*Cols+col] counts horizontal runs of channel ch over column
+	// col; Ft[row*Cols+col] counts vertical runs through row at col.
+	Dens []int32
+	Ft   []int32
+}
+
+// New returns an empty grid for a core of the given width and row count.
+// colWidth must be positive; width is rounded up to a whole column.
+func New(rows, coreWidth, colWidth int) *Grid {
+	if colWidth <= 0 {
+		panic(fmt.Sprintf("grid: colWidth %d must be positive", colWidth))
+	}
+	if coreWidth < 1 {
+		coreWidth = 1
+	}
+	cols := (coreWidth + colWidth - 1) / colWidth
+	if cols < 1 {
+		cols = 1
+	}
+	return &Grid{
+		Rows: rows, Channels: rows + 1, Cols: cols, ColWidth: colWidth,
+		Dens: make([]int32, (rows+1)*cols),
+		Ft:   make([]int32, rows*cols),
+	}
+}
+
+// ColOf maps an x coordinate to its column, clamping out-of-core values.
+func (g *Grid) ColOf(x int) int {
+	return geom.Clamp(x/g.ColWidth, 0, g.Cols-1)
+}
+
+// ColCenter returns the x coordinate of the center of a column.
+func (g *Grid) ColCenter(col int) int {
+	return col*g.ColWidth + g.ColWidth/2
+}
+
+// AddHoriz adjusts the density of channel ch over the x interval iv by
+// delta (use -1 to remove a previously added run). Empty intervals are
+// no-ops; a zero-length interval still occupies one column.
+func (g *Grid) AddHoriz(ch int, iv geom.Interval, delta int32) {
+	if iv.Empty() {
+		return
+	}
+	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
+	base := ch * g.Cols
+	for col := lo; col <= hi; col++ {
+		g.Dens[base+col] += delta
+	}
+}
+
+// AddVert adjusts feedthrough demand at column col for rows rowLo..rowHi
+// (inclusive) by delta.
+func (g *Grid) AddVert(rowLo, rowHi, col int, delta int32) {
+	for row := rowLo; row <= rowHi; row++ {
+		g.Ft[row*g.Cols+col] += delta
+	}
+}
+
+// HorizAddCost returns the congestion cost of adding a horizontal run to
+// channel ch over iv: sum of 2d+1 over the covered columns.
+func (g *Grid) HorizAddCost(ch int, iv geom.Interval) int64 {
+	if iv.Empty() {
+		return 0
+	}
+	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
+	base := ch * g.Cols
+	var cost int64
+	for col := lo; col <= hi; col++ {
+		cost += 2*int64(g.Dens[base+col]) + 1
+	}
+	return cost
+}
+
+// VertAddCost returns the cost of adding a vertical run through rows
+// rowLo..rowHi at column col: per crossed row, ftBase plus the clustering
+// penalty 2d (the sum-of-squares increment scaled into the same units).
+func (g *Grid) VertAddCost(rowLo, rowHi, col int, ftBase int64) int64 {
+	var cost int64
+	for row := rowLo; row <= rowHi; row++ {
+		cost += ftBase + 2*int64(g.Ft[row*g.Cols+col])
+	}
+	return cost
+}
+
+// FtDemand returns the feedthrough demand at (row, col).
+func (g *Grid) FtDemand(row, col int) int { return int(g.Ft[row*g.Cols+col]) }
+
+// Density returns the horizontal-run count of channel ch at col.
+func (g *Grid) Density(ch, col int) int { return int(g.Dens[ch*g.Cols+col]) }
+
+// TotalFt returns the total feedthrough demand.
+func (g *Grid) TotalFt() int {
+	var n int32
+	for _, v := range g.Ft {
+		n += v
+	}
+	return int(n)
+}
+
+// MaxChannelDensity returns the peak column density of channel ch.
+func (g *Grid) MaxChannelDensity(ch int) int {
+	base := ch * g.Cols
+	var m int32
+	for col := 0; col < g.Cols; col++ {
+		if d := g.Dens[base+col]; d > m {
+			m = d
+		}
+	}
+	return int(m)
+}
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{Rows: g.Rows, Channels: g.Channels, Cols: g.Cols, ColWidth: g.ColWidth,
+		Dens: append([]int32(nil), g.Dens...),
+		Ft:   append([]int32(nil), g.Ft...)}
+	return out
+}
+
+// Zero resets all counters in place.
+func (g *Grid) Zero() {
+	for i := range g.Dens {
+		g.Dens[i] = 0
+	}
+	for i := range g.Ft {
+		g.Ft[i] = 0
+	}
+}
+
+// AddFrom adds other's counters into g. The grids must have identical
+// shape; this is the merge step of the net-wise synchronization.
+func (g *Grid) AddFrom(other *Grid) {
+	g.mustMatch(other)
+	for i, v := range other.Dens {
+		g.Dens[i] += v
+	}
+	for i, v := range other.Ft {
+		g.Ft[i] += v
+	}
+}
+
+// SubFrom subtracts other's counters from g.
+func (g *Grid) SubFrom(other *Grid) {
+	g.mustMatch(other)
+	for i, v := range other.Dens {
+		g.Dens[i] -= v
+	}
+	for i, v := range other.Ft {
+		g.Ft[i] -= v
+	}
+}
+
+func (g *Grid) mustMatch(other *Grid) {
+	if g.Rows != other.Rows || g.Cols != other.Cols {
+		panic(fmt.Sprintf("grid: shape mismatch %dx%d vs %dx%d",
+			g.Rows, g.Cols, other.Rows, other.Cols))
+	}
+}

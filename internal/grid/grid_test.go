@@ -1,0 +1,204 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parroute/internal/geom"
+	"parroute/internal/rng"
+)
+
+func TestNewShape(t *testing.T) {
+	g := New(10, 160, 16)
+	if g.Rows != 10 || g.Channels != 11 || g.Cols != 10 || g.ColWidth != 16 {
+		t.Fatalf("shape: %+v", g)
+	}
+	if len(g.Dens) != 11*10 || len(g.Ft) != 10*10 {
+		t.Fatalf("array sizes: %d, %d", len(g.Dens), len(g.Ft))
+	}
+	// Width rounds up.
+	g = New(2, 161, 16)
+	if g.Cols != 11 {
+		t.Fatalf("cols = %d, want 11", g.Cols)
+	}
+	// Degenerate width still yields one column.
+	g = New(2, 0, 16)
+	if g.Cols != 1 {
+		t.Fatalf("cols = %d, want 1", g.Cols)
+	}
+}
+
+func TestNewPanicsOnBadColWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("colWidth 0 should panic")
+		}
+	}()
+	New(2, 100, 0)
+}
+
+func TestColOfClamps(t *testing.T) {
+	g := New(2, 160, 16)
+	if g.ColOf(-5) != 0 {
+		t.Fatal("negative x should clamp to column 0")
+	}
+	if g.ColOf(100000) != g.Cols-1 {
+		t.Fatal("huge x should clamp to the last column")
+	}
+	if g.ColOf(0) != 0 || g.ColOf(15) != 0 || g.ColOf(16) != 1 {
+		t.Fatal("column mapping wrong")
+	}
+	if g.ColCenter(1) != 24 {
+		t.Fatalf("center of column 1 = %d", g.ColCenter(1))
+	}
+}
+
+func TestAddHorizAndDensity(t *testing.T) {
+	g := New(2, 160, 16)
+	g.AddHoriz(1, geom.NewInterval(0, 47), 1)
+	for col := 0; col < 3; col++ {
+		if g.Density(1, col) != 1 {
+			t.Fatalf("col %d density = %d", col, g.Density(1, col))
+		}
+	}
+	if g.Density(1, 3) != 0 || g.Density(0, 0) != 0 {
+		t.Fatal("density bled into wrong cells")
+	}
+	g.AddHoriz(1, geom.NewInterval(0, 47), -1)
+	if g.MaxChannelDensity(1) != 0 {
+		t.Fatal("remove did not cancel add")
+	}
+	// Empty interval is a no-op.
+	g.AddHoriz(1, geom.Interval{Lo: 1, Hi: 0}, 1)
+	if g.MaxChannelDensity(1) != 0 {
+		t.Fatal("empty interval changed the grid")
+	}
+}
+
+func TestAddVertAndDemand(t *testing.T) {
+	g := New(5, 160, 16)
+	g.AddVert(1, 3, 2, 1)
+	for row := 1; row <= 3; row++ {
+		if g.FtDemand(row, 2) != 1 {
+			t.Fatalf("row %d demand = %d", row, g.FtDemand(row, 2))
+		}
+	}
+	if g.FtDemand(0, 2) != 0 || g.FtDemand(4, 2) != 0 || g.FtDemand(2, 1) != 0 {
+		t.Fatal("demand bled")
+	}
+	if g.TotalFt() != 3 {
+		t.Fatalf("total ft = %d", g.TotalFt())
+	}
+}
+
+func TestHorizAddCost(t *testing.T) {
+	g := New(2, 160, 16)
+	iv := geom.NewInterval(0, 31) // 2 columns
+	if c := g.HorizAddCost(0, iv); c != 2 {
+		t.Fatalf("empty-grid cost = %d, want 2 (2 cols x (2*0+1))", c)
+	}
+	g.AddHoriz(0, iv, 1)
+	if c := g.HorizAddCost(0, iv); c != 6 {
+		t.Fatalf("cost at density 1 = %d, want 6 (2 cols x 3)", c)
+	}
+	if c := g.HorizAddCost(0, geom.Interval{Lo: 1, Hi: 0}); c != 0 {
+		t.Fatalf("empty interval cost = %d", c)
+	}
+}
+
+func TestVertAddCost(t *testing.T) {
+	g := New(5, 160, 16)
+	if c := g.VertAddCost(1, 3, 2, 10); c != 30 {
+		t.Fatalf("cost = %d, want 30 (3 rows x ftBase)", c)
+	}
+	g.AddVert(1, 3, 2, 1)
+	if c := g.VertAddCost(1, 3, 2, 10); c != 36 {
+		t.Fatalf("cost = %d, want 36 (3 x (10 + 2*1))", c)
+	}
+}
+
+func TestCloneAndMerge(t *testing.T) {
+	a := New(3, 160, 16)
+	a.AddHoriz(0, geom.NewInterval(0, 31), 1)
+	a.AddVert(0, 1, 3, 1)
+	b := a.Clone()
+	b.AddHoriz(0, geom.NewInterval(0, 31), 1)
+	if a.Density(0, 0) != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+	a.AddFrom(b)
+	if a.Density(0, 0) != 3 { // 1 + (1+1)
+		t.Fatalf("merged density = %d", a.Density(0, 0))
+	}
+	if a.FtDemand(0, 3) != 2 {
+		t.Fatalf("merged demand = %d", a.FtDemand(0, 3))
+	}
+	a.SubFrom(b)
+	if a.Density(0, 0) != 1 || a.FtDemand(0, 3) != 1 {
+		t.Fatal("SubFrom did not invert AddFrom")
+	}
+	a.Zero()
+	if a.TotalFt() != 0 || a.MaxChannelDensity(0) != 0 {
+		t.Fatal("Zero left residue")
+	}
+}
+
+func TestMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	New(3, 160, 16).AddFrom(New(4, 160, 16))
+}
+
+func TestAddRemoveInverseProperty(t *testing.T) {
+	// Random adds followed by matching removes always return to zero.
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		g := New(6, 320, 16)
+		type op struct {
+			ch    int
+			iv    geom.Interval
+			vr0   int
+			vr1   int
+			vcol  int
+			horiz bool
+		}
+		var ops []op
+		for i := 0; i < 50; i++ {
+			if r.Bool() {
+				o := op{horiz: true, ch: r.Intn(7), iv: geom.NewInterval(r.Intn(320), r.Intn(320))}
+				g.AddHoriz(o.ch, o.iv, 1)
+				ops = append(ops, o)
+			} else {
+				lo := r.Intn(6)
+				hi := lo + r.Intn(6-lo)
+				o := op{vr0: lo, vr1: hi, vcol: r.Intn(g.Cols)}
+				g.AddVert(o.vr0, o.vr1, o.vcol, 1)
+				ops = append(ops, o)
+			}
+		}
+		for _, o := range ops {
+			if o.horiz {
+				g.AddHoriz(o.ch, o.iv, -1)
+			} else {
+				g.AddVert(o.vr0, o.vr1, o.vcol, -1)
+			}
+		}
+		for _, v := range g.Dens {
+			if v != 0 {
+				return false
+			}
+		}
+		for _, v := range g.Ft {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics defines the routing result vocabulary (wires in
+// channels) and the quality measures the paper reports: per-channel track
+// counts (channel density), their total, and the chip-area model.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"parroute/internal/geom"
+)
+
+// Wire is one horizontal run placed in a routing channel. Switchable wires
+// (both endpoints electrically equivalent on the opposite cell edge, or
+// feedthrough pins) may sit in either channel adjacent to Row; Channel
+// records the current choice.
+type Wire struct {
+	Net     int
+	Channel int
+	Span    geom.Interval
+	// Switchable marks step-5 candidates; Row is the cell row whose two
+	// adjacent channels (Row and Row+1) the wire may occupy.
+	Switchable bool
+	Row        int
+	// Endpoint anchors: the (x, row) of the two connection points the
+	// wire joins. The detailed channel router derives its vertical
+	// constraints from them: an endpoint in the row above the channel is
+	// a top-edge contact, one in the row below a bottom-edge contact.
+	AX, ARow int
+	BX, BRow int
+}
+
+// OtherChannel returns the alternative channel of a switchable wire.
+// It panics for non-switchable wires.
+func (w *Wire) OtherChannel() int {
+	if !w.Switchable {
+		panic("metrics: OtherChannel on non-switchable wire")
+	}
+	if w.Channel == w.Row {
+		return w.Row + 1
+	}
+	return w.Row
+}
+
+// ChannelDensities returns, per channel, the maximum number of wires
+// overlapping any x position — the track count a channel router would need
+// (without vertical-constraint conflicts), which is the quantity TWGR
+// minimizes.
+func ChannelDensities(numChannels int, wires []Wire) []int {
+	type event struct {
+		x     int
+		delta int
+	}
+	evs := make([][]event, numChannels)
+	for i := range wires {
+		w := &wires[i]
+		if w.Span.Empty() {
+			continue
+		}
+		if w.Channel < 0 || w.Channel >= numChannels {
+			panic(fmt.Sprintf("metrics: wire in channel %d of %d", w.Channel, numChannels))
+		}
+		evs[w.Channel] = append(evs[w.Channel],
+			event{w.Span.Lo, +1}, event{w.Span.Hi + 1, -1})
+	}
+	dens := make([]int, numChannels)
+	for ch, es := range evs {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].x != es[j].x {
+				return es[i].x < es[j].x
+			}
+			return es[i].delta < es[j].delta // close before open at same x
+		})
+		cur, max := 0, 0
+		for _, e := range es {
+			cur += e.delta
+			if cur > max {
+				max = cur
+			}
+		}
+		dens[ch] = max
+	}
+	return dens
+}
+
+// TotalTracks sums channel densities — the paper's "track number".
+func TotalTracks(densities []int) int {
+	t := 0
+	for _, d := range densities {
+		t += d
+	}
+	return t
+}
+
+// Wirelength sums the horizontal spans of all wires.
+func Wirelength(wires []Wire) int64 {
+	var wl int64
+	for i := range wires {
+		wl += int64(wires[i].Span.Len())
+	}
+	return wl
+}
+
+// Area models the chip area the way the paper's quality metric does: core
+// width (the widest row, which grows with inserted feedthroughs) times
+// total height, where each channel contributes its density in track
+// pitches and each row its cell height.
+func Area(coreWidth, rows, cellHeight, trackPitch int, densities []int) int64 {
+	h := int64(rows) * int64(cellHeight)
+	for _, d := range densities {
+		h += int64(d) * int64(trackPitch)
+	}
+	return int64(coreWidth) * h
+}
+
+// Result is the outcome of one routing run.
+type Result struct {
+	Circuit string
+	Algo    string
+	Procs   int
+
+	Wires           []Wire
+	ChannelDensity  []int
+	TotalTracks     int
+	Area            int64
+	Wirelength      int64
+	Feedthroughs    int
+	ForcedEdges     int // step-4 connections that needed non-adjacent fallback
+	CoreWidth       int
+	SwitchableWires int
+	SwitchFlips     int // step-5 flips actually taken
+	CoarseFlips     int // step-2 bend flips actually taken
+
+	Elapsed time.Duration
+	Phases  []Phase
+}
+
+// Phase records the wall time of one named routing phase.
+type Phase struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Finalize computes the derived quality numbers from Wires and the
+// geometry parameters, filling ChannelDensity, TotalTracks, Wirelength and
+// Area in place.
+func (r *Result) Finalize(numChannels, rows, cellHeight, trackPitch int) {
+	r.ChannelDensity = ChannelDensities(numChannels, r.Wires)
+	r.TotalTracks = TotalTracks(r.ChannelDensity)
+	r.Wirelength = Wirelength(r.Wires)
+	r.Area = Area(r.CoreWidth, rows, cellHeight, trackPitch, r.ChannelDensity)
+}
+
+// ScaledTracks returns r's track count relative to a baseline run — the
+// paper's "scaled track" quality measure (1.00 means identical quality).
+func (r *Result) ScaledTracks(baseline *Result) float64 {
+	if baseline.TotalTracks == 0 {
+		return 1
+	}
+	return float64(r.TotalTracks) / float64(baseline.TotalTracks)
+}
+
+// ScaledArea returns r's area relative to a baseline run.
+func (r *Result) ScaledArea(baseline *Result) float64 {
+	if baseline.Area == 0 {
+		return 1
+	}
+	return float64(r.Area) / float64(baseline.Area)
+}
+
+// Speedup returns the baseline's elapsed time divided by r's.
+func (r *Result) Speedup(baseline *Result) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(baseline.Elapsed) / float64(r.Elapsed)
+}
+
+// PhaseTime returns the recorded wall time of a named phase (0 if absent).
+func (r *Result) PhaseTime(name string) time.Duration {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Elapsed
+		}
+	}
+	return 0
+}

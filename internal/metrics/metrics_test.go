@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"parroute/internal/geom"
+	"parroute/internal/rng"
+)
+
+func wire(ch, lo, hi int) Wire {
+	return Wire{Channel: ch, Span: geom.NewInterval(lo, hi)}
+}
+
+func TestChannelDensitiesBasic(t *testing.T) {
+	wires := []Wire{
+		wire(0, 0, 10),
+		wire(0, 5, 15),  // overlaps the first -> density 2
+		wire(0, 20, 30), // disjoint
+		wire(1, 0, 100),
+	}
+	d := ChannelDensities(3, wires)
+	if d[0] != 2 || d[1] != 1 || d[2] != 0 {
+		t.Fatalf("densities = %v", d)
+	}
+	if TotalTracks(d) != 3 {
+		t.Fatalf("total = %d", TotalTracks(d))
+	}
+}
+
+func TestChannelDensitiesTouchingSpans(t *testing.T) {
+	// Closed intervals: [0,10] and [10,20] share x=10 -> density 2 there.
+	d := ChannelDensities(1, []Wire{wire(0, 0, 10), wire(0, 10, 20)})
+	if d[0] != 2 {
+		t.Fatalf("touching spans density = %d, want 2", d[0])
+	}
+	// [0,10] and [11,20] are disjoint.
+	d = ChannelDensities(1, []Wire{wire(0, 0, 10), wire(0, 11, 20)})
+	if d[0] != 1 {
+		t.Fatalf("adjacent spans density = %d, want 1", d[0])
+	}
+}
+
+func TestChannelDensitiesIgnoresEmpty(t *testing.T) {
+	empty := Wire{Channel: 0, Span: geom.Interval{Lo: 1, Hi: 0}}
+	d := ChannelDensities(1, []Wire{empty})
+	if d[0] != 0 {
+		t.Fatalf("empty wire counted: %v", d)
+	}
+}
+
+func TestChannelDensitiesPanicsOnBadChannel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range channel should panic")
+		}
+	}()
+	ChannelDensities(1, []Wire{wire(5, 0, 1)})
+}
+
+func TestDensityMatchesBruteForce(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := 1 + r.Intn(40)
+		wires := make([]Wire, n)
+		for i := range wires {
+			wires[i] = wire(r.Intn(3), r.Intn(50), r.Intn(50))
+		}
+		d := ChannelDensities(3, wires)
+		for ch := 0; ch < 3; ch++ {
+			max := 0
+			for x := 0; x < 50; x++ {
+				cnt := 0
+				for _, w := range wires {
+					if w.Channel == ch && w.Span.Contains(x) {
+						cnt++
+					}
+				}
+				if cnt > max {
+					max = cnt
+				}
+			}
+			if d[ch] != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWirelength(t *testing.T) {
+	wires := []Wire{wire(0, 0, 9), wire(1, 5, 5)}
+	// Closed intervals: [0,9] has 10 points, [5,5] has 1.
+	if wl := Wirelength(wires); wl != 11 {
+		t.Fatalf("wirelength = %d", wl)
+	}
+}
+
+func TestArea(t *testing.T) {
+	// 2 rows of height 10, densities 3 and 0 and 2, pitch 2, width 100:
+	// height = 20 + (3+0+2)*2 = 30 -> area 3000.
+	if a := Area(100, 2, 10, 2, []int{3, 0, 2}); a != 3000 {
+		t.Fatalf("area = %d", a)
+	}
+}
+
+func TestOtherChannel(t *testing.T) {
+	w := Wire{Channel: 4, Switchable: true, Row: 4}
+	if w.OtherChannel() != 5 {
+		t.Fatalf("other = %d", w.OtherChannel())
+	}
+	w.Channel = 5
+	if w.OtherChannel() != 4 {
+		t.Fatalf("other = %d", w.OtherChannel())
+	}
+}
+
+func TestOtherChannelPanicsOnFixedWire(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OtherChannel on fixed wire should panic")
+		}
+	}()
+	w := Wire{Channel: 4}
+	w.OtherChannel()
+}
+
+func TestResultFinalizeAndScaling(t *testing.T) {
+	res := &Result{
+		CoreWidth: 100,
+		Wires:     []Wire{wire(0, 0, 10), wire(1, 0, 50), wire(1, 20, 60)},
+	}
+	res.Finalize(3, 2, 10, 2)
+	if res.TotalTracks != 3 {
+		t.Fatalf("tracks = %d", res.TotalTracks)
+	}
+	if res.Area != int64(100)*(20+6) {
+		t.Fatalf("area = %d", res.Area)
+	}
+	base := &Result{TotalTracks: 2, Area: 1000, Elapsed: 100}
+	res.Elapsed = 50
+	if got := res.ScaledTracks(base); got != 1.5 {
+		t.Fatalf("scaled tracks = %v", got)
+	}
+	if got := res.Speedup(base); got != 2 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if got := res.ScaledArea(base); got != float64(res.Area)/1000 {
+		t.Fatalf("scaled area = %v", got)
+	}
+	// Division-by-zero safety.
+	zero := &Result{}
+	if res.ScaledTracks(zero) != 1 || res.ScaledArea(zero) != 1 {
+		t.Fatal("zero baseline should scale to 1")
+	}
+	if (&Result{}).Speedup(base) != 0 {
+		t.Fatal("zero elapsed should give zero speedup")
+	}
+}
+
+func TestPhaseTime(t *testing.T) {
+	res := &Result{Phases: []Phase{{Name: "a", Elapsed: 5}, {Name: "b", Elapsed: 7}}}
+	if res.PhaseTime("b") != 7 {
+		t.Fatal("phase lookup failed")
+	}
+	if res.PhaseTime("zzz") != 0 {
+		t.Fatal("missing phase should be 0")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := &Result{
+		Circuit: "x", Algo: "hybrid", Procs: 4,
+		Wires: []Wire{
+			{Net: 1, Channel: 2, Span: geom.NewInterval(3, 9), Switchable: true, Row: 2,
+				AX: 3, ARow: 2, BX: 9, BRow: 1},
+			{Net: 2, Channel: 0, Span: geom.Interval{Lo: 1, Hi: 0}},
+		},
+		ChannelDensity: []int{1, 0, 1}, TotalTracks: 2, Area: 500, Wirelength: 7,
+		Feedthroughs: 3, ForcedEdges: 0, CoreWidth: 100,
+		SwitchableWires: 1, SwitchFlips: 1, CoarseFlips: 2,
+		Elapsed: 1234567,
+		Phases:  []Phase{{Name: "steiner", Elapsed: 111}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Circuit != r.Circuit || got.Algo != r.Algo || got.Procs != r.Procs ||
+		got.TotalTracks != r.TotalTracks || got.Area != r.Area ||
+		got.Elapsed != r.Elapsed || got.CoreWidth != r.CoreWidth {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Wires) != len(r.Wires) {
+		t.Fatalf("wire count %d", len(got.Wires))
+	}
+	for i := range r.Wires {
+		if got.Wires[i] != r.Wires[i] {
+			t.Fatalf("wire %d: %+v vs %+v", i, got.Wires[i], r.Wires[i])
+		}
+	}
+	if len(got.Phases) != 1 || got.Phases[0] != r.Phases[0] {
+		t.Fatalf("phases: %+v", got.Phases)
+	}
+}
+
+func TestReadResultJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadResultJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package mp
+
+import "fmt"
+
+// Collective operations, built generically on Comm point-to-point
+// primitives so every engine (and its cost accounting) gets them for free.
+// All ranks of a communicator must call a collective together, with the
+// same root and tag; tags keep concurrent protocol phases apart.
+
+// Bcast distributes root's value v to every rank and returns it; the value
+// passed by non-root ranks is ignored.
+func Bcast(c Comm, root, tag int, v any) (any, error) {
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, v); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects one value per rank at root. On root it returns a slice
+// indexed by rank (root's own contribution included); elsewhere nil.
+func Gather(c Comm, root, tag int, v any) ([]any, error) {
+	if c.Rank() != root {
+		return nil, c.Send(root, tag, v)
+	}
+	out := make([]any, c.Size())
+	out[root] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Allgather collects one value per rank at every rank.
+func Allgather(c Comm, tag int, v any) ([]any, error) {
+	vs, err := Gather(c, 0, tag, v)
+	if err != nil {
+		return nil, err
+	}
+	got, err := Bcast(c, 0, tag, vs)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := got.([]any)
+	if !ok {
+		return nil, fmt.Errorf("mp: allgather received %T, want []any", got)
+	}
+	return out, nil
+}
+
+// AllreduceInt32s element-wise combines equal-length int32 slices from all
+// ranks with op and returns the combined slice on every rank. The input
+// slice is not modified.
+func AllreduceInt32s(c Comm, tag int, v []int32, op func(a, b int32) int32) ([]int32, error) {
+	vs, err := Gather(c, 0, tag, v)
+	if err != nil {
+		return nil, err
+	}
+	var acc []int32
+	if c.Rank() == 0 {
+		acc = append([]int32(nil), v...)
+		for r := 1; r < c.Size(); r++ {
+			other, ok := vs[r].([]int32)
+			if !ok {
+				return nil, fmt.Errorf("mp: allreduce received %T from rank %d, want []int32", vs[r], r)
+			}
+			if len(other) != len(acc) {
+				return nil, fmt.Errorf("mp: allreduce length mismatch: rank %d sent %d, want %d",
+					r, len(other), len(acc))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	got, err := Bcast(c, 0, tag, acc)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := got.([]int32)
+	if !ok {
+		return nil, fmt.Errorf("mp: allreduce received %T, want []int32", got)
+	}
+	// Each rank gets a private copy: on the in-memory engines Bcast
+	// delivers the same slice object to every rank, and callers are free
+	// to mutate their reduction result.
+	return append([]int32(nil), out...), nil
+}
+
+// SumInt32s is the addition operator for AllreduceInt32s.
+func SumInt32s(a, b int32) int32 { return a + b }
+
+// Alltoall sends vs[r] to each rank r and returns the values addressed to
+// the caller, indexed by source rank. len(vs) must equal Size.
+func Alltoall(c Comm, tag int, vs []any) ([]any, error) {
+	if len(vs) != c.Size() {
+		return nil, fmt.Errorf("mp: alltoall with %d values for %d ranks", len(vs), c.Size())
+	}
+	me := c.Rank()
+	for r := 0; r < c.Size(); r++ {
+		if r == me {
+			continue
+		}
+		if err := c.Send(r, tag, vs[r]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]any, c.Size())
+	out[me] = vs[me]
+	for r := 0; r < c.Size(); r++ {
+		if r == me {
+			continue
+		}
+		got, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// AllreduceInt combines one int per rank with op on every rank.
+func AllreduceInt(c Comm, tag int, v int, op func(a, b int) int) (int, error) {
+	vs, err := Allgather(c, tag, v)
+	if err != nil {
+		return 0, err
+	}
+	acc, ok := vs[0].(int)
+	if !ok {
+		return 0, fmt.Errorf("mp: allreduce received %T, want int", vs[0])
+	}
+	for _, raw := range vs[1:] {
+		x, ok := raw.(int)
+		if !ok {
+			return 0, fmt.Errorf("mp: allreduce received %T, want int", raw)
+		}
+		acc = op(acc, x)
+	}
+	return acc, nil
+}
+
+// MaxInt and SumInt are common AllreduceInt operators.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumInt adds two ints; see AllreduceInt.
+func SumInt(a, b int) int { return a + b }
+
+// Reduce combines one value per rank at root with op (left-to-right in
+// rank order). Non-root ranks receive the zero value of the result.
+func Reduce[T any](c Comm, root, tag int, v T, op func(a, b T) T) (T, error) {
+	var zero T
+	vs, err := Gather(c, root, tag, v)
+	if err != nil {
+		return zero, err
+	}
+	if c.Rank() != root {
+		return zero, nil
+	}
+	acc, ok := vs[0].(T)
+	if !ok {
+		return zero, fmt.Errorf("mp: reduce received %T", vs[0])
+	}
+	for _, raw := range vs[1:] {
+		x, ok := raw.(T)
+		if !ok {
+			return zero, fmt.Errorf("mp: reduce received %T", raw)
+		}
+		acc = op(acc, x)
+	}
+	return acc, nil
+}
+
+// Scatter distributes vs[r] from root to each rank r and returns the
+// caller's element. len(vs) must equal Size on the root; it is ignored
+// elsewhere.
+func Scatter(c Comm, root, tag int, vs []any) (any, error) {
+	if c.Rank() == root {
+		if len(vs) != c.Size() {
+			return nil, fmt.Errorf("mp: scatter with %d values for %d ranks", len(vs), c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, vs[r]); err != nil {
+				return nil, err
+			}
+		}
+		return vs[root], nil
+	}
+	return c.Recv(root, tag)
+}
+
+// Scan computes the inclusive prefix combination in rank order: rank r
+// receives op(v_0, ..., v_r). Linear chain, O(P) latency.
+func Scan[T any](c Comm, tag int, v T, op func(a, b T) T) (T, error) {
+	var zero T
+	acc := v
+	if c.Rank() > 0 {
+		raw, err := c.Recv(c.Rank()-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		prev, ok := raw.(T)
+		if !ok {
+			return zero, fmt.Errorf("mp: scan received %T", raw)
+		}
+		acc = op(prev, v)
+	}
+	if c.Rank()+1 < c.Size() {
+		if err := c.Send(c.Rank()+1, tag, acc); err != nil {
+			return zero, err
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,92 @@
+package mp
+
+import (
+	"encoding/gob"
+	"time"
+)
+
+// CostModel parameterizes the Virtual engine's communication timing. A
+// point-to-point message of s bytes sent at sender time t becomes available
+// to the receiver at t + Latency + s/Bandwidth; the sender's clock advances
+// by SendOverhead, the receiver's by RecvOverhead on pickup. A barrier
+// costs BarrierBase + Procs*BarrierPerProc on top of the global maximum.
+type CostModel struct {
+	Name           string
+	SendOverhead   time.Duration
+	RecvOverhead   time.Duration
+	Latency        time.Duration
+	BytesPerSecond float64
+	BarrierBase    time.Duration
+	BarrierPerProc time.Duration
+}
+
+// transfer returns the in-flight delay of a message of the given size.
+func (m *CostModel) transfer(bytes int) time.Duration {
+	d := m.Latency
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / m.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// SMP models the paper's 8-processor Sun SparcCenter 1000: MPI over shared
+// memory, so messages are memcpy-fast but not free.
+func SMP() CostModel {
+	return CostModel{
+		Name:           "smp",
+		SendOverhead:   4 * time.Microsecond,
+		RecvOverhead:   4 * time.Microsecond,
+		Latency:        20 * time.Microsecond,
+		BytesPerSecond: 50e6,
+		BarrierBase:    10 * time.Microsecond,
+		BarrierPerProc: 4 * time.Microsecond,
+	}
+}
+
+// DMP models the paper's Intel Paragon: a distributed-memory machine with
+// much higher per-message latency and lower sustained bandwidth (NX/MPI on
+// the Paragon mesh), but more nodes.
+func DMP() CostModel {
+	return CostModel{
+		Name:           "dmp",
+		SendOverhead:   40 * time.Microsecond,
+		RecvOverhead:   40 * time.Microsecond,
+		Latency:        150 * time.Microsecond,
+		BytesPerSecond: 15e6,
+		BarrierBase:    100 * time.Microsecond,
+		BarrierPerProc: 40 * time.Microsecond,
+	}
+}
+
+// countingWriter counts bytes written through it.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// payloadSize measures the wire size of a payload by gob-encoding it into
+// a counter. Unencodable payloads (which would also fail on the TCP
+// engine) are priced at a fixed small size rather than failing — the
+// Virtual engine should never alter program behaviour.
+func payloadSize(v any) int {
+	var cw countingWriter
+	enc := gob.NewEncoder(&cw)
+	if err := enc.Encode(&wireEnv{V: v}); err != nil {
+		return 64
+	}
+	return cw.n
+}
+
+// wireEnv is the gob frame shared by the TCP engine and the Virtual
+// engine's size measurement. Payload types must be registered with
+// RegisterPayload to cross the interface boundary.
+type wireEnv struct {
+	Src, Tag int
+	V        any
+}
+
+// RegisterPayload registers a concrete payload type with gob. Call it once
+// (e.g. from an init function) for every type sent through Comm.
+func RegisterPayload(v any) { gob.Register(v) }

@@ -1,0 +1,29 @@
+package mp_test
+
+import (
+	"fmt"
+
+	"parroute/internal/mp"
+)
+
+// ExampleConfig_Run sums the ranks of a four-worker simulated machine with
+// an allreduce. The same function body runs unchanged on the concurrent
+// and TCP engines.
+func ExampleConfig_Run() {
+	cfg := mp.Config{Procs: 4, Mode: mp.Virtual, Model: mp.SMP()}
+	_, err := cfg.Run(func(c mp.Comm) error {
+		total, err := mp.AllreduceInt(c, 1, c.Rank(), mp.SumInt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println("sum of ranks:", total)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// sum of ranks: 6
+}

@@ -1,0 +1,131 @@
+// Package mp is the message-passing substrate that replaces MPI in this
+// reproduction. The parallel routing algorithms are written once against
+// the Comm interface (rank/size, tagged point-to-point messages, barrier,
+// plus the collectives in collectives.go) and run on three interchangeable
+// engines:
+//
+//   - Virtual: a deterministic discrete-event simulation of a P-processor
+//     message-passing machine. Worker goroutines run one at a time (token
+//     passing), their compute spans are measured on the host CPU, and
+//     communication advances per-worker virtual clocks through a platform
+//     cost model. This is how the paper's SparcCenter-1000 (SMP) and Intel
+//     Paragon (DMP) runs are reproduced on a machine with any core count;
+//     the simulated elapsed time is the parallel runtime reported by the
+//     benchmarks.
+//   - Inproc: real concurrent goroutines with in-memory mailboxes, for
+//     hosts with real cores.
+//   - TCP: one goroutine per rank, all traffic gob-encoded over loopback
+//     TCP sockets — the "distributed memory" deployment shape.
+//
+// Ownership discipline: a sent value belongs to the receiver afterwards.
+// Senders must not retain or mutate payloads after Send; the in-memory
+// engines deliver by reference.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Comm is the per-rank communicator handed to each worker function.
+type Comm interface {
+	// Rank returns this worker's index in [0, Size).
+	Rank() int
+	// Size returns the number of workers.
+	Size() int
+	// Send delivers v to rank `to` under the given tag. It does not block
+	// on the receiver (buffered semantics).
+	Send(to, tag int, v any) error
+	// Recv blocks until a message from rank `from` with the given tag
+	// arrives and returns its payload. Messages from the same sender and
+	// tag arrive in send order.
+	Recv(from, tag int) (any, error)
+	// Barrier blocks until every rank has entered the barrier.
+	Barrier() error
+}
+
+// Mode selects the execution engine.
+type Mode int
+
+const (
+	// Virtual is the discrete-event simulated machine (default).
+	Virtual Mode = iota
+	// Inproc runs workers as truly concurrent goroutines.
+	Inproc
+	// TCP runs workers as goroutines that communicate over loopback TCP
+	// with gob encoding.
+	TCP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Virtual:
+		return "virtual"
+	case Inproc:
+		return "inproc"
+	case TCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config describes a parallel run.
+type Config struct {
+	Procs int
+	Mode  Mode
+	// Model is the communication cost model used by the Virtual engine;
+	// ignored by the others. Zero value means SMP().
+	Model CostModel
+}
+
+// ErrDeadlock is returned when every worker is blocked and no message can
+// ever arrive.
+var ErrDeadlock = errors.New("mp: deadlock: all workers blocked")
+
+// Run executes fn on Procs workers and returns the elapsed parallel time:
+// simulated time under Virtual, wall-clock time otherwise. The first
+// worker error aborts the run and is returned.
+func (cfg Config) Run(fn func(Comm) error) (time.Duration, error) {
+	if cfg.Procs <= 0 {
+		return 0, fmt.Errorf("mp: Procs must be positive, got %d", cfg.Procs)
+	}
+	switch cfg.Mode {
+	case Virtual:
+		model := cfg.Model
+		if model.Name == "" {
+			model = SMP()
+		}
+		return runVirtual(cfg.Procs, model, fn)
+	case Inproc:
+		start := time.Now()
+		err := runInproc(cfg.Procs, fn)
+		return time.Since(start), err
+	case TCP:
+		start := time.Now()
+		err := runTCP(cfg.Procs, fn)
+		return time.Since(start), err
+	default:
+		return 0, fmt.Errorf("mp: unknown mode %v", cfg.Mode)
+	}
+}
+
+// envelope is an in-flight message.
+type envelope struct {
+	src, tag int
+	v        any
+	// avail is the virtual time at which the message is available to the
+	// receiver (Virtual engine only).
+	avail time.Duration
+}
+
+// firstErr keeps the first of a set of errors, preferring earlier ranks
+// for determinism.
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,591 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func init() {
+	RegisterPayload([]int32{})
+	RegisterPayload([]any{})
+	RegisterPayload(0)
+	RegisterPayload(true)
+	RegisterPayload("")
+}
+
+// allModes runs a subtest under each engine.
+func allModes(t *testing.T, name string, f func(t *testing.T, cfg Config)) {
+	t.Helper()
+	for _, mode := range []Mode{Virtual, Inproc, TCP} {
+		t.Run(name+"/"+mode.String(), func(t *testing.T) {
+			f(t, Config{Mode: mode})
+		})
+	}
+}
+
+func TestRingPassing(t *testing.T) {
+	allModes(t, "ring", func(t *testing.T, cfg Config) {
+		cfg.Procs = 4
+		_, err := cfg.Run(func(c Comm) error {
+			// Pass an accumulating token around the ring twice.
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			if c.Rank() == 0 {
+				if err := c.Send(next, 1, 1); err != nil {
+					return err
+				}
+			}
+			for round := 0; round < 2; round++ {
+				got, err := c.Recv(prev, 1)
+				if err != nil {
+					return err
+				}
+				v := got.(int)
+				if c.Rank() == 0 && round == 1 {
+					if v != 2*c.Size() {
+						return fmt.Errorf("token = %d, want %d", v, 2*c.Size())
+					}
+					return nil
+				}
+				if err := c.Send(next, 1, v+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	allModes(t, "order", func(t *testing.T, cfg Config) {
+		cfg.Procs = 2
+		_, err := cfg.Run(func(c Comm) error {
+			const n = 50
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					if err := c.Send(1, 7, i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < n; i++ {
+				got, err := c.Recv(0, 7)
+				if err != nil {
+					return err
+				}
+				if got.(int) != i {
+					return fmt.Errorf("message %d arrived as %d: FIFO violated", i, got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTagsKeepStreamsApart(t *testing.T) {
+	allModes(t, "tags", func(t *testing.T, cfg Config) {
+		cfg.Procs = 2
+		_, err := cfg.Run(func(c Comm) error {
+			if c.Rank() == 0 {
+				if err := c.Send(1, 10, "ten"); err != nil {
+					return err
+				}
+				return c.Send(1, 20, "twenty")
+			}
+			// Receive in the opposite order of sending.
+			got20, err := c.Recv(0, 20)
+			if err != nil {
+				return err
+			}
+			got10, err := c.Recv(0, 10)
+			if err != nil {
+				return err
+			}
+			if got20.(string) != "twenty" || got10.(string) != "ten" {
+				return fmt.Errorf("tag demux broken: got %v/%v", got20, got10)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	allModes(t, "barrier", func(t *testing.T, cfg Config) {
+		cfg.Procs = 5
+		// Every rank contributes to a gather, barriers, then gathers
+		// again; mismatched phases would deliver phase-2 values to the
+		// phase-1 gather on some engine if barriers were broken.
+		_, err := cfg.Run(func(c Comm) error {
+			for phase := 0; phase < 3; phase++ {
+				vs, err := Allgather(c, 30+phase, c.Rank()*10+phase)
+				if err != nil {
+					return err
+				}
+				for r, raw := range vs {
+					if raw.(int) != r*10+phase {
+						return fmt.Errorf("phase %d: rank %d contributed %v", phase, r, raw)
+					}
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCollectives(t *testing.T) {
+	allModes(t, "collectives", func(t *testing.T, cfg Config) {
+		cfg.Procs = 4
+		_, err := cfg.Run(func(c Comm) error {
+			// Bcast.
+			got, err := Bcast(c, 2, 1, "hello")
+			if err != nil {
+				return err
+			}
+			if got.(string) != "hello" {
+				return fmt.Errorf("bcast got %v", got)
+			}
+			// Gather.
+			vs, err := Gather(c, 1, 2, c.Rank()*c.Rank())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 1 {
+				for r, raw := range vs {
+					if raw.(int) != r*r {
+						return fmt.Errorf("gather[%d] = %v", r, raw)
+					}
+				}
+			} else if vs != nil {
+				return fmt.Errorf("non-root gather returned %v", vs)
+			}
+			// AllreduceInt32s (sum).
+			mine := []int32{int32(c.Rank()), 1, int32(-c.Rank())}
+			sum, err := AllreduceInt32s(c, 3, mine, SumInt32s)
+			if err != nil {
+				return err
+			}
+			want := []int32{0 + 1 + 2 + 3, 4, -(0 + 1 + 2 + 3)}
+			for i := range want {
+				if sum[i] != want[i] {
+					return fmt.Errorf("allreduce[%d] = %d, want %d", i, sum[i], want[i])
+				}
+			}
+			// Input must not be modified.
+			if mine[0] != int32(c.Rank()) {
+				return fmt.Errorf("allreduce mutated its input")
+			}
+			// AllreduceInt max.
+			mx, err := AllreduceInt(c, 4, c.Rank()*7, MaxInt)
+			if err != nil {
+				return err
+			}
+			if mx != 21 {
+				return fmt.Errorf("allreduce max = %d", mx)
+			}
+			// Alltoall: rank r sends r*10+dest to dest.
+			out := make([]any, c.Size())
+			for r := range out {
+				out[r] = c.Rank()*10 + r
+			}
+			in, err := Alltoall(c, 5, out)
+			if err != nil {
+				return err
+			}
+			for r, raw := range in {
+				if raw.(int) != r*10+c.Rank() {
+					return fmt.Errorf("alltoall from %d = %v", r, raw)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	allModes(t, "error", func(t *testing.T, cfg Config) {
+		cfg.Procs = 3
+		_, err := cfg.Run(func(c Comm) error {
+			if c.Rank() == 1 {
+				return boom
+			}
+			// Other ranks block forever on a message rank 1 never sends;
+			// the abort must release them.
+			_, err := c.Recv(1, 9)
+			return err
+		})
+		if err == nil {
+			t.Fatal("expected error, got nil")
+		}
+		if !errors.Is(err, boom) && !strings.Contains(err.Error(), "rank 1 failed") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	})
+}
+
+func TestVirtualDeadlockDetected(t *testing.T) {
+	cfg := Config{Procs: 2, Mode: Virtual}
+	_, err := cfg.Run(func(c Comm) error {
+		// Both ranks receive first: classic deadlock.
+		_, err := c.Recv(1-c.Rank(), 1)
+		if err != nil {
+			return err
+		}
+		return c.Send(1-c.Rank(), 1, 0)
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestVirtualBarrierAfterExitIsDeadlock(t *testing.T) {
+	cfg := Config{Procs: 2, Mode: Virtual}
+	_, err := cfg.Run(func(c Comm) error {
+		if c.Rank() == 0 {
+			return nil // exits immediately
+		}
+		return c.Barrier()
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestVirtualSingleRank(t *testing.T) {
+	cfg := Config{Procs: 1, Mode: Virtual}
+	elapsed, err := cfg.Run(func(c Comm) error {
+		if c.Size() != 1 || c.Rank() != 0 {
+			return fmt.Errorf("rank/size = %d/%d", c.Rank(), c.Size())
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Self-send works.
+		if err := c.Send(0, 3, 42); err != nil {
+			return err
+		}
+		got, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 42 {
+			return fmt.Errorf("self message = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 0 {
+		t.Fatalf("negative simulated time %v", elapsed)
+	}
+}
+
+func TestVirtualClockAdvancesWithCompute(t *testing.T) {
+	cfg := Config{Procs: 2, Mode: Virtual}
+	elapsed, err := cfg.Run(func(c Comm) error {
+		if c.Rank() == 0 {
+			// Busy-work long enough to dominate all comm costs.
+			deadline := time.Now().Add(20 * time.Millisecond)
+			x := 0
+			for time.Now().Before(deadline) {
+				x++
+			}
+			_ = x
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("simulated time %v should include rank 0's 20ms compute span", elapsed)
+	}
+}
+
+func TestVirtualMessageCostModel(t *testing.T) {
+	// With a pure-latency model, a ping-pong of n rounds must cost at
+	// least n*latency of simulated time even though compute is ~0.
+	model := CostModel{
+		Name:    "latency-only",
+		Latency: time.Millisecond,
+	}
+	const rounds = 10
+	cfg := Config{Procs: 2, Mode: Virtual, Model: model}
+	elapsed, err := cfg.Run(func(c Comm) error {
+		other := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(other, 1, i); err != nil {
+					return err
+				}
+				if _, err := c.Recv(other, 1); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(other, 1); err != nil {
+					return err
+				}
+				if err := c.Send(other, 1, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * rounds * time.Millisecond; elapsed < want {
+		t.Fatalf("simulated ping-pong time %v, want at least %v", elapsed, want)
+	}
+}
+
+func TestVirtualBandwidthCharged(t *testing.T) {
+	// A message of s encoded bytes at 1 MB/s must cost at least s
+	// microseconds of simulated time (gob varint-packs the payload, so
+	// derive the expectation from the actual encoded size).
+	model := CostModel{Name: "slow", BytesPerSecond: 1e6}
+	cfg := Config{Procs: 2, Mode: Virtual, Model: model}
+	payload := make([]int32, 1<<18)
+	size := payloadSize(payload)
+	if size < 1<<17 {
+		t.Fatalf("encoded size %d implausibly small for %d elements", size, len(payload))
+	}
+	want := time.Duration(float64(size) / 1e6 * float64(time.Second))
+	elapsed, err := cfg.Run(func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, payload)
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < want {
+		t.Fatalf("%d bytes at 1MB/s simulated as %v, want >= %v", size, elapsed, want)
+	}
+	if elapsed > 100*want {
+		t.Fatalf("simulated time %v implausibly large (want about %v)", elapsed, want)
+	}
+}
+
+func TestDMPSlowerThanSMP(t *testing.T) {
+	run := func(model CostModel) time.Duration {
+		cfg := Config{Procs: 4, Mode: Virtual, Model: model}
+		elapsed, err := cfg.Run(func(c Comm) error {
+			for i := 0; i < 20; i++ {
+				if _, err := Allgather(c, i, []int32{1, 2, 3}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	smp := run(SMP())
+	dmp := run(DMP())
+	if dmp <= smp {
+		t.Fatalf("DMP (%v) should simulate slower than SMP (%v) for the same traffic", dmp, smp)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{Procs: 0}).Run(func(Comm) error { return nil }); err == nil {
+		t.Fatal("Procs=0 accepted")
+	}
+	if _, err := (Config{Procs: -3}).Run(func(Comm) error { return nil }); err == nil {
+		t.Fatal("negative Procs accepted")
+	}
+	if _, err := (Config{Procs: 1, Mode: Mode(99)}).Run(func(Comm) error { return nil }); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestInvalidRanksRejected(t *testing.T) {
+	allModes(t, "badrank", func(t *testing.T, cfg Config) {
+		cfg.Procs = 2
+		_, err := cfg.Run(func(c Comm) error {
+			if err := c.Send(5, 1, 0); err == nil {
+				return fmt.Errorf("send to rank 5 of 2 accepted")
+			}
+			if _, err := c.Recv(-1, 1); err == nil {
+				return fmt.Errorf("recv from rank -1 accepted")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPayloadSizeGrowsWithContent(t *testing.T) {
+	small := payloadSize([]int32{1})
+	big := payloadSize(make([]int32, 10000))
+	if big <= small {
+		t.Fatalf("payloadSize(10000 ints)=%d not larger than payloadSize(1 int)=%d", big, small)
+	}
+}
+
+func TestVirtualElapsedIsMaxOverWorkers(t *testing.T) {
+	// Rank 1 computes 3x longer; elapsed must reflect the slowest rank
+	// even without any synchronization.
+	cfg := Config{Procs: 2, Mode: Virtual}
+	elapsed, err := cfg.Run(func(c Comm) error {
+		d := 5 * time.Millisecond
+		if c.Rank() == 1 {
+			d = 15 * time.Millisecond
+		}
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("elapsed %v < slowest worker's 15ms", elapsed)
+	}
+}
+
+func TestCostModelTransfer(t *testing.T) {
+	m := CostModel{Latency: 100, BytesPerSecond: 0}
+	if m.transfer(1000) != 100 {
+		t.Fatal("zero bandwidth should cost latency only")
+	}
+	m = CostModel{Latency: 0, BytesPerSecond: 1e9}
+	if d := m.transfer(1e9); d != time.Second {
+		t.Fatalf("1GB at 1GB/s = %v, want 1s", d)
+	}
+	// DMP must price every component at or above SMP.
+	smp, dmp := SMP(), DMP()
+	if dmp.Latency <= smp.Latency || dmp.BytesPerSecond >= smp.BytesPerSecond ||
+		dmp.SendOverhead <= smp.SendOverhead || dmp.BarrierBase <= smp.BarrierBase {
+		t.Fatal("DMP model should be uniformly more expensive than SMP")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Virtual.String() != "virtual" || Inproc.String() != "inproc" || TCP.String() != "tcp" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should format")
+	}
+}
+
+func TestVirtualSelfSendOrdering(t *testing.T) {
+	cfg := Config{Procs: 1, Mode: Virtual}
+	_, err := cfg.Run(func(c Comm) error {
+		for i := 0; i < 10; i++ {
+			if err := c.Send(0, 4, i); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 10; i++ {
+			got, err := c.Recv(0, 4)
+			if err != nil {
+				return err
+			}
+			if got.(int) != i {
+				return fmt.Errorf("self-send order broken at %d: %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterScan(t *testing.T) {
+	allModes(t, "rss", func(t *testing.T, cfg Config) {
+		cfg.Procs = 4
+		_, err := cfg.Run(func(c Comm) error {
+			// Reduce (sum of rank squares at root 2).
+			got, err := Reduce(c, 2, 1, c.Rank()*c.Rank(), func(a, b int) int { return a + b })
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 2 && got != 0+1+4+9 {
+				return fmt.Errorf("reduce = %d", got)
+			}
+			if c.Rank() != 2 && got != 0 {
+				return fmt.Errorf("non-root reduce = %d", got)
+			}
+			// Scatter.
+			var vs []any
+			if c.Rank() == 1 {
+				vs = []any{"a", "b", "c", "d"}
+			}
+			elem, err := Scatter(c, 1, 2, vs)
+			if err != nil {
+				return err
+			}
+			want := string(rune('a' + c.Rank()))
+			if elem.(string) != want {
+				return fmt.Errorf("scatter got %v, want %v", elem, want)
+			}
+			// Scan (inclusive prefix sum of ranks+1).
+			pre, err := Scan(c, 3, c.Rank()+1, func(a, b int) int { return a + b })
+			if err != nil {
+				return err
+			}
+			wantSum := (c.Rank() + 1) * (c.Rank() + 2) / 2
+			if pre != wantSum {
+				return fmt.Errorf("scan = %d, want %d", pre, wantSum)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	cfg := Config{Procs: 2, Mode: Virtual}
+	_, err := cfg.Run(func(c Comm) error {
+		if c.Rank() == 0 {
+			_, err := Scatter(c, 0, 1, []any{1}) // wrong length
+			if err == nil {
+				return fmt.Errorf("short scatter accepted")
+			}
+			// Unblock rank 1.
+			return c.Send(1, 1, 0)
+		}
+		_, err := Scatter(c, 0, 1, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

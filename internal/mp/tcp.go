@@ -1,0 +1,290 @@
+package mp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP engine gives every rank a loopback listener and a full mesh of
+// gob-encoded connections — the "distributed memory machine" deployment
+// shape, with real serialization and kernel round trips on every message.
+// Barriers are built from point-to-point messages (gather to rank 0, then
+// release), so the whole engine needs nothing beyond sockets.
+
+const barrierTag = -2
+
+type tComm struct {
+	m    *tMachine
+	rank int
+}
+
+type tMachine struct {
+	n     int
+	boxes []*mailbox
+	peers [][]*tPeer // [rank][peer]
+
+	mu      sync.Mutex
+	aborted error
+}
+
+// tPeer is one directed view of a connection: an encoder guarded by a
+// mutex. nil for self.
+type tPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func runTCP(n int, fn func(Comm) error) error {
+	m := &tMachine{n: n, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n)}
+	for i := 0; i < n; i++ {
+		m.boxes[i] = newMailbox()
+		m.peers[i] = make([]*tPeer, n)
+	}
+
+	// Every rank listens; rank i dials every j > i and introduces itself
+	// with a one-int handshake.
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeListeners(listeners)
+			return fmt.Errorf("mp: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = l
+	}
+	defer closeListeners(listeners)
+
+	var connMu sync.Mutex
+	var connErr error
+	var wgConn sync.WaitGroup
+	// Accept side: rank j accepts n-1-j connections (from every i < j).
+	for j := 1; j < n; j++ {
+		wgConn.Add(1)
+		go func(j int) {
+			defer wgConn.Done()
+			for k := 0; k < j; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					setErr(&connMu, &connErr, fmt.Errorf("mp: accept on rank %d: %w", j, err))
+					return
+				}
+				var peerRank int
+				if err := gob.NewDecoder(conn).Decode(&peerRank); err != nil {
+					setErr(&connMu, &connErr, fmt.Errorf("mp: handshake on rank %d: %w", j, err))
+					return
+				}
+				registerConn(m, j, peerRank, conn)
+			}
+		}(j)
+	}
+	// Dial side.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wgConn.Add(1)
+			go func(i, j int) {
+				defer wgConn.Done()
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					setErr(&connMu, &connErr, fmt.Errorf("mp: dial %d->%d: %w", i, j, err))
+					return
+				}
+				if err := gob.NewEncoder(conn).Encode(i); err != nil {
+					setErr(&connMu, &connErr, fmt.Errorf("mp: handshake %d->%d: %w", i, j, err))
+					return
+				}
+				registerConn(m, i, j, conn)
+			}(i, j)
+		}
+	}
+	wgConn.Wait()
+	if connErr != nil {
+		m.closeAll()
+		return connErr
+	}
+
+	// Reader pumps: one per (rank, peer) connection.
+	var wgRead sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		for peer := 0; peer < n; peer++ {
+			p := m.peers[rank][peer]
+			if p == nil {
+				continue
+			}
+			wgRead.Add(1)
+			go func(rank int, conn net.Conn) {
+				defer wgRead.Done()
+				m.readLoop(rank, conn)
+			}(rank, p.conn)
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(rank int) {
+			defer wg.Done()
+			err := fn(&tComm{m: m, rank: rank})
+			errs[rank] = err
+			if err != nil {
+				m.abort(fmt.Errorf("mp: rank %d failed: %w", rank, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	m.closeAll()
+	wgRead.Wait()
+	return firstErr(errs)
+}
+
+func setErr(mu *sync.Mutex, dst *error, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *dst == nil {
+		*dst = err
+	}
+}
+
+func closeListeners(ls []net.Listener) {
+	for _, l := range ls {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// registerConn installs owner's endpoint of its connection to peer. Each
+// side of a TCP connection registers its own endpoint: owner writes to it
+// in Send and reads from it in readLoop.
+func registerConn(m *tMachine, owner, peer int, conn net.Conn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peers[owner][peer] = &tPeer{conn: conn, enc: gob.NewEncoder(conn)}
+}
+
+// readLoop decodes envelopes arriving on conn for the given local rank.
+func (m *tMachine) readLoop(rank int, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var env wireEnv
+		if err := dec.Decode(&env); err != nil {
+			if err != io.EOF && m.abortErr() == nil {
+				// Connection torn down mid-run; surfaced to blocked
+				// receivers through abort.
+				m.abort(fmt.Errorf("mp: rank %d lost connection: %w", rank, err))
+			}
+			return
+		}
+		b := m.boxes[rank]
+		b.mu.Lock()
+		b.queue = append(b.queue, envelope{src: env.Src, tag: env.Tag, v: env.V})
+		b.mu.Unlock()
+		b.cond.Broadcast()
+	}
+}
+
+func (m *tMachine) abort(err error) {
+	m.mu.Lock()
+	if m.aborted == nil {
+		m.aborted = err
+	}
+	m.mu.Unlock()
+	for _, b := range m.boxes {
+		b.cond.Broadcast()
+	}
+}
+
+func (m *tMachine) abortErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aborted
+}
+
+func (m *tMachine) closeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.peers {
+		for j := range m.peers[i] {
+			if p := m.peers[i][j]; p != nil && p.conn != nil {
+				p.conn.Close()
+			}
+		}
+	}
+}
+
+func (c *tComm) Rank() int { return c.rank }
+func (c *tComm) Size() int { return c.m.n }
+
+func (c *tComm) Send(to, tag int, v any) error {
+	if to < 0 || to >= c.m.n {
+		return fmt.Errorf("mp: send to rank %d of %d", to, c.m.n)
+	}
+	if err := c.m.abortErr(); err != nil {
+		return err
+	}
+	if to == c.rank {
+		b := c.m.boxes[c.rank]
+		b.mu.Lock()
+		b.queue = append(b.queue, envelope{src: c.rank, tag: tag, v: v})
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return nil
+	}
+	p := c.m.peers[c.rank][to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(&wireEnv{Src: c.rank, Tag: tag, V: v}); err != nil {
+		return fmt.Errorf("mp: send %d->%d: %w", c.rank, to, err)
+	}
+	return nil
+}
+
+func (c *tComm) Recv(from, tag int) (any, error) {
+	if from < 0 || from >= c.m.n {
+		return nil, fmt.Errorf("mp: recv from rank %d of %d", from, c.m.n)
+	}
+	b := c.m.boxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if i := matchEnv(b.queue, from, tag); i >= 0 {
+			env := b.queue[i]
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return env.v, nil
+		}
+		if err := c.m.abortErr(); err != nil {
+			return nil, err
+		}
+		b.cond.Wait()
+	}
+}
+
+// Barrier gathers a token at rank 0 and releases everyone — all message
+// traffic, so it works identically over sockets.
+func (c *tComm) Barrier() error {
+	if c.m.n == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.m.n; r++ {
+			if _, err := c.Recv(r, barrierTag); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.m.n; r++ {
+			if err := c.Send(r, barrierTag, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, barrierTag, true); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, barrierTag)
+	return err
+}

@@ -1,0 +1,285 @@
+package mp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The Virtual engine simulates a P-processor message-passing machine with
+// a deterministic discrete-event scheme:
+//
+//   - exactly one worker goroutine runs at a time (a token is passed
+//     between them), so the real time a worker spends between two mp
+//     operations is that worker's own compute time, even on a single-core
+//     host;
+//   - each worker carries a virtual clock; compute spans advance it by the
+//     measured real duration, communication advances it through the
+//     CostModel;
+//   - a message sent at sender time t becomes available to its receiver at
+//     t + transfer(size); Recv advances the receiver to at least that;
+//   - Barrier aligns every clock to the maximum plus the barrier cost.
+//
+// The simulated elapsed time of the run is the maximum virtual clock at
+// completion. Program results never depend on the clock — only reported
+// times do — so routing output is identical across engines.
+
+type vState uint8
+
+const (
+	vReady vState = iota
+	vRunning
+	vBlockedRecv
+	vBlockedBarrier
+	vDone
+)
+
+type vWorker struct {
+	rank      int
+	vtime     time.Duration
+	state     vState
+	wantSrc   int
+	wantTag   int
+	queue     []envelope
+	grant     chan struct{}
+	lastGrant time.Time
+}
+
+type vMachine struct {
+	mu        sync.Mutex
+	model     CostModel
+	n         int
+	workers   []*vWorker
+	inBarrier int
+	done      int
+	err       error
+}
+
+type vComm struct {
+	m *vMachine
+	w *vWorker
+}
+
+func runVirtual(n int, model CostModel, fn func(Comm) error) (time.Duration, error) {
+	// The simulation charges real elapsed time to worker clocks, so a GC
+	// cycle triggered by a previous run's garbage would be billed to
+	// whichever worker it lands on. Collect up front for a clean slate.
+	runtime.GC()
+	m := &vMachine{model: model, n: n, workers: make([]*vWorker, n)}
+	for i := 0; i < n; i++ {
+		m.workers[i] = &vWorker{rank: i, state: vReady, grant: make(chan struct{}, 1)}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		w := m.workers[i]
+		go func() {
+			defer wg.Done()
+			<-w.grant
+			m.mu.Lock()
+			w.lastGrant = time.Now()
+			m.mu.Unlock()
+			err := fn(&vComm{m: m, w: w})
+			m.finish(w, err)
+			errs[w.rank] = err
+		}()
+	}
+	m.mu.Lock()
+	m.scheduleLocked()
+	m.mu.Unlock()
+	wg.Wait()
+
+	var elapsed time.Duration
+	for _, w := range m.workers {
+		if w.vtime > elapsed {
+			elapsed = w.vtime
+		}
+	}
+	if err := firstErr(errs); err != nil {
+		return elapsed, err
+	}
+	return elapsed, m.err
+}
+
+// accrueLocked charges the real time since the worker got the token to its
+// virtual clock. Callers must hold m.mu and must reset lastGrant (via
+// resumeLocked) before letting the worker compute again.
+func (m *vMachine) accrueLocked(w *vWorker) {
+	w.vtime += time.Since(w.lastGrant)
+}
+
+// resumeLocked restarts the worker's compute span measurement; called just
+// before an operation returns control to worker code.
+func (m *vMachine) resumeLocked(w *vWorker) {
+	w.lastGrant = time.Now()
+}
+
+// scheduleLocked hands the token to the ready worker with the smallest
+// virtual clock (ties broken by rank). If nobody is ready and the machine
+// is not finished, every remaining worker is blocked forever: record a
+// deadlock and wake them so they can return the error.
+func (m *vMachine) scheduleLocked() {
+	var next *vWorker
+	for _, w := range m.workers {
+		if w.state != vReady {
+			continue
+		}
+		if next == nil || w.vtime < next.vtime {
+			next = w
+		}
+	}
+	if next != nil {
+		next.state = vRunning
+		next.grant <- struct{}{}
+		return
+	}
+	if m.done == m.n {
+		return
+	}
+	if m.err == nil {
+		m.err = ErrDeadlock
+	}
+	m.wakeAllLocked()
+}
+
+// wakeAllLocked releases every blocked worker after an abort so they can
+// observe m.err.
+func (m *vMachine) wakeAllLocked() {
+	for _, w := range m.workers {
+		if w.state == vBlockedRecv || w.state == vBlockedBarrier {
+			w.state = vRunning
+			w.grant <- struct{}{}
+		}
+	}
+}
+
+func (m *vMachine) finish(w *vWorker, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accrueLocked(w)
+	w.state = vDone
+	m.done++
+	if err != nil && m.err == nil {
+		m.err = fmt.Errorf("mp: rank %d failed: %w", w.rank, err)
+		m.wakeAllLocked()
+	}
+	m.scheduleLocked()
+}
+
+func (c *vComm) Rank() int { return c.w.rank }
+func (c *vComm) Size() int { return c.m.n }
+
+func (c *vComm) Send(to, tag int, v any) error {
+	m, w := c.m, c.w
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("mp: send to rank %d of %d", to, m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accrueLocked(w)
+	if m.err != nil {
+		return m.err
+	}
+	size := payloadSize(v)
+	w.vtime += m.model.SendOverhead
+	env := envelope{src: w.rank, tag: tag, v: v, avail: w.vtime + m.model.transfer(size)}
+	dst := m.workers[to]
+	dst.queue = append(dst.queue, env)
+	if dst.state == vBlockedRecv && dst.wantSrc == w.rank && dst.wantTag == tag {
+		dst.state = vReady
+	}
+	m.resumeLocked(w)
+	return nil
+}
+
+func (c *vComm) Recv(from, tag int) (any, error) {
+	m, w := c.m, c.w
+	if from < 0 || from >= m.n {
+		return nil, fmt.Errorf("mp: recv from rank %d of %d", from, m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accrueLocked(w)
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if i := matchEnv(w.queue, from, tag); i >= 0 {
+			env := w.queue[i]
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			if env.avail > w.vtime {
+				w.vtime = env.avail
+			}
+			w.vtime += m.model.RecvOverhead
+			m.resumeLocked(w)
+			return env.v, nil
+		}
+		w.state = vBlockedRecv
+		w.wantSrc, w.wantTag = from, tag
+		m.scheduleLocked()
+		m.mu.Unlock()
+		<-w.grant
+		m.mu.Lock()
+	}
+}
+
+func (c *vComm) Barrier() error {
+	m, w := c.m, c.w
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accrueLocked(w)
+	if m.err != nil {
+		return m.err
+	}
+	m.inBarrier++
+	if m.inBarrier == m.n {
+		var vmax time.Duration
+		for _, o := range m.workers {
+			if o.vtime > vmax {
+				vmax = o.vtime
+			}
+		}
+		cost := m.model.BarrierBase + time.Duration(m.n)*m.model.BarrierPerProc
+		for _, o := range m.workers {
+			o.vtime = vmax + cost
+			if o.state == vBlockedBarrier {
+				o.state = vReady
+			}
+		}
+		m.inBarrier = 0
+		m.resumeLocked(w)
+		return nil
+	}
+	if m.inBarrier+m.done == m.n {
+		// The remaining workers already finished and can never enter the
+		// barrier: protocol error.
+		m.err = fmt.Errorf("mp: rank %d waits at a barrier %d ranks already exited: %w",
+			w.rank, m.done, ErrDeadlock)
+		m.inBarrier--
+		m.wakeAllLocked()
+		return m.err
+	}
+	w.state = vBlockedBarrier
+	m.scheduleLocked()
+	m.mu.Unlock()
+	<-w.grant
+	m.mu.Lock()
+	if m.err != nil {
+		return m.err
+	}
+	m.resumeLocked(w)
+	return nil
+}
+
+// matchEnv returns the index of the first queued envelope from (src, tag),
+// or -1. First-match preserves per-sender-per-tag FIFO order.
+func matchEnv(queue []envelope, src, tag int) int {
+	for i := range queue {
+		if queue[i].src == src && queue[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,91 @@
+// Package mst computes minimum spanning trees over small dense graphs.
+//
+// TWGR uses MSTs twice: step 1 builds each net's approximate Steiner tree
+// from the MST of its pins, and step 4 connects a net's pins and assigned
+// feedthroughs with an MST over a complete graph restricted to entities in
+// adjacent rows. Net degrees are small (tens, with rare thousands for clock
+// nets), so an O(n^2) Prim is the right tool — no heap, no allocation noise.
+package mst
+
+import "math"
+
+// Infinite marks a forbidden edge in a cost function. Prim avoids such
+// edges whenever a spanning tree without them exists.
+const Infinite int64 = math.MaxInt64 / 4
+
+// Edge is an undirected tree edge between node indices U and V.
+type Edge struct {
+	U, V int
+}
+
+// Prim returns the n-1 edges of a minimum spanning tree of the complete
+// graph on n nodes under the given cost function, along with the number of
+// Infinite-cost edges it was forced to use (0 when the finite-cost subgraph
+// is connected). cost must be symmetric; it is called O(n^2) times.
+//
+// n == 0 and n == 1 yield an empty tree. The edge list is in the order the
+// nodes were attached, each edge pointing from the new node V to its
+// attachment point U.
+func Prim(n int, cost func(i, j int) int64) (edges []Edge, forced int) {
+	if n <= 1 {
+		return nil, 0
+	}
+	const unset = -1
+	inTree := make([]bool, n)
+	best := make([]int64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = math.MaxInt64
+		from[i] = unset
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = cost(0, j)
+		from[j] = 0
+	}
+	edges = make([]Edge, 0, n-1)
+	for len(edges) < n-1 {
+		// Pick the cheapest fringe node.
+		v, vc := unset, int64(math.MaxInt64)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < vc {
+				v, vc = j, best[j]
+			}
+		}
+		if v == unset {
+			// All remaining costs are MaxInt64; attach arbitrarily to node
+			// 0 so the result is still a spanning tree.
+			for j := 0; j < n; j++ {
+				if !inTree[j] {
+					v = j
+					from[j] = 0
+					vc = Infinite
+					break
+				}
+			}
+		}
+		if vc >= Infinite {
+			forced++
+		}
+		inTree[v] = true
+		edges = append(edges, Edge{U: from[v], V: v})
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if c := cost(v, j); c < best[j] {
+					best[j] = c
+					from[j] = v
+				}
+			}
+		}
+	}
+	return edges, forced
+}
+
+// TotalCost sums the cost of the given edges under the cost function.
+func TotalCost(edges []Edge, cost func(i, j int) int64) int64 {
+	var total int64
+	for _, e := range edges {
+		total += cost(e.U, e.V)
+	}
+	return total
+}

@@ -1,0 +1,401 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+	"parroute/internal/steiner"
+)
+
+// stopwatch accumulates named phase durations for a worker's Summary.
+type stopwatch struct {
+	last   time.Time
+	phases []metrics.Phase
+}
+
+func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
+
+// reset restarts the span without recording anything; use it after a
+// communication call so the next lap measures only local compute.
+func (s *stopwatch) reset() { s.last = time.Now() }
+
+// lap records the time since the previous lap under the given name.
+func (s *stopwatch) lap(name string) {
+	now := time.Now()
+	s.phases = append(s.phases, metrics.Phase{Name: name, Elapsed: now.Sub(s.last)})
+	s.last = now
+}
+
+// computeCrossings implements the fake-pin placement of §4: for every net
+// this rank owns whose pins span more than one row block, build the net's
+// Steiner tree and, wherever a segment's vertical run passes a partition
+// boundary, emit a fake-pin spec for each of the two adjacent blocks at
+// the crossing column (Figure 2). Returns one spec list per block.
+func computeCrossings(c *circuit.Circuit, blocks []partition.RowBlock, owner []int, rank int) [][]FakePinSpec {
+	specs := make([][]FakePinSpec, len(blocks))
+	if len(blocks) == 1 {
+		return specs
+	}
+	for n := range c.Nets {
+		if owner[n] != rank {
+			continue
+		}
+		pins := c.Nets[n].Pins
+		if len(pins) < 2 {
+			continue
+		}
+		minRow, maxRow := c.Pins[pins[0]].Row, c.Pins[pins[0]].Row
+		for _, pid := range pins[1:] {
+			r := c.Pins[pid].Row
+			minRow = geom.Min(minRow, r)
+			maxRow = geom.Max(maxRow, r)
+		}
+		if partition.BlockOf(blocks, minRow) == partition.BlockOf(blocks, maxRow) {
+			continue // entirely within one block: no splitting needed
+		}
+		for _, seg := range steiner.BuildNet(c, n) {
+			ps := route.Place(c, seg)
+			kp := partition.BlockOf(blocks, c.Pins[ps.PinAtP].Row)
+			kq := partition.BlockOf(blocks, c.Pins[ps.PinAtQ].Row)
+			if kp > kq {
+				kp, kq = kq, kp
+			}
+			if kp == kq {
+				continue // the owning block routes this segment whole
+			}
+			// The segment must be split at exactly the boundaries between
+			// its endpoints' blocks. Each such boundary channel S lies in
+			// the segment's channel range [CP, CQ].
+			//
+			// The crossing column matters: when an endpoint's own access
+			// channel IS the boundary, the fake pin goes at that
+			// endpoint's x, so the span between the endpoints stays on
+			// the other side — where that block's coarse routing is still
+			// free to place it in either adjacent channel, exactly as the
+			// unsplit segment could. Crossings strictly inside the
+			// vertical run sit at the run's column.
+			runs := ps.CurrentRuns()
+			for j := kp; j < kq; j++ {
+				s := blocks[j+1].Lo
+				var x int
+				switch {
+				case ps.CP == ps.CQ:
+					x = (ps.XP + ps.XQ) / 2 // flat hand-off inside the channel
+				case s >= ps.CQ:
+					x = ps.XQ
+				case s <= ps.CP:
+					x = ps.XP
+				default:
+					x = runs.VCol
+				}
+				specs[j] = append(specs[j], FakePinSpec{
+					Net: n, X: x, Row: s - 1, Side: circuit.Top,
+				})
+				specs[j+1] = append(specs[j+1], FakePinSpec{
+					Net: n, X: x, Row: s, Side: circuit.Bottom,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// exchangeFakePins all-to-alls the fake-pin specs and returns this rank's,
+// concatenated in source-rank order (deterministic).
+func exchangeFakePins(comm mp.Comm, specs [][]FakePinSpec) ([]FakePinSpec, error) {
+	vs := make([]any, comm.Size())
+	for k := range vs {
+		vs[k] = specs[k]
+	}
+	in, err := mp.Alltoall(comm, tagFakePins, vs)
+	if err != nil {
+		return nil, err
+	}
+	var mine []FakePinSpec
+	for r, raw := range in {
+		batch, ok := raw.([]FakePinSpec)
+		if !ok {
+			return nil, fmt.Errorf("parallel: fake pins from rank %d arrived as %T", r, raw)
+		}
+		mine = append(mine, batch...)
+	}
+	return mine, nil
+}
+
+// buildTrimmedSubCircuit constructs the same sub-circuit as
+// buildSubCircuit but holds only this block's cells and pins: foreign
+// rows stay as empty placeholders (so channel and row indices remain
+// global) and IDs are re-issued locally. Per-worker memory then scales
+// with the block instead of the whole design — the paper's motivation for
+// the row partition. Net IDs (the only identifiers that cross workers)
+// are preserved, and per-net pin order matches buildSubCircuit's, so
+// routing results are identical.
+func buildTrimmedSubCircuit(base *circuit.Circuit, block partition.RowBlock, fakes []FakePinSpec) *circuit.Circuit {
+	sub := &circuit.Circuit{
+		Name:       base.Name,
+		CellHeight: base.CellHeight,
+		FeedWidth:  base.FeedWidth,
+	}
+	for range base.Rows {
+		sub.AddRow()
+	}
+	for n := range base.Nets {
+		sub.AddNet(base.Nets[n].Name)
+	}
+	// Copy the block's cells row-major, preserving in-row order and
+	// absolute positions; remember the pin ID mapping.
+	pinMap := make(map[int]int)
+	for r := block.Lo; r <= block.Hi; r++ {
+		for _, cid := range base.Rows[r].Cells {
+			cell := &base.Cells[cid]
+			newCell := len(sub.Cells)
+			sub.Cells = append(sub.Cells, circuit.Cell{
+				ID: newCell, Row: r, X: cell.X, Width: cell.Width, Feed: cell.Feed,
+			})
+			sub.Rows[r].Cells = append(sub.Rows[r].Cells, newCell)
+			for _, pid := range cell.Pins {
+				p := base.Pins[pid]
+				newPin := len(sub.Pins)
+				// Net membership is attached below in base order.
+				sub.Pins = append(sub.Pins, circuit.Pin{
+					ID: newPin, Net: circuit.NoNet, Cell: newCell, Offset: p.Offset,
+					X: p.X, Row: p.Row, Side: p.Side,
+				})
+				sub.Cells[newCell].Pins = append(sub.Cells[newCell].Pins, newPin)
+				pinMap[pid] = newPin
+			}
+		}
+	}
+	// Rebuild net pin lists in the base's per-net order (the same order
+	// buildSubCircuit's filter preserves).
+	for n := range base.Nets {
+		for _, pid := range base.Nets[n].Pins {
+			if newPin, ok := pinMap[pid]; ok {
+				sub.Pins[newPin].Net = n
+				sub.Nets[n].Pins = append(sub.Nets[n].Pins, newPin)
+			}
+		}
+	}
+	for _, spec := range fakes {
+		sub.AddFakePin(spec.Net, spec.X, spec.Row, spec.Side)
+	}
+	return sub
+}
+
+// buildSubCircuit constructs this block's row-wise sub-circuit: a clone of
+// the base where every net is restricted to its pins inside the block,
+// plus the fake pins assigned to this block. Cells of foreign rows remain
+// placed (their geometry is needed for global channel indices) but carry
+// no net pins, so the router never touches them.
+func buildSubCircuit(base *circuit.Circuit, block partition.RowBlock, fakes []FakePinSpec) *circuit.Circuit {
+	sub := base.Clone()
+	for n := range sub.Nets {
+		net := &sub.Nets[n]
+		kept := net.Pins[:0]
+		for _, pid := range net.Pins {
+			if block.Contains(sub.Pins[pid].Row) {
+				kept = append(kept, pid)
+			} else {
+				sub.Pins[pid].Net = circuit.NoNet
+			}
+		}
+		net.Pins = kept
+	}
+	for _, spec := range fakes {
+		sub.AddFakePin(spec.Net, spec.X, spec.Row, spec.Side)
+	}
+	return sub
+}
+
+// globalCoreWidth agrees on the post-insertion core width: the maximum
+// over every worker's owned rows.
+func globalCoreWidth(comm mp.Comm, sub *circuit.Circuit, block partition.RowBlock) (int, error) {
+	w := 1
+	for r := block.Lo; r <= block.Hi; r++ {
+		w = geom.Max(w, sub.RowWidth(r))
+	}
+	return mp.AllreduceInt(comm, tagWidths, w, mp.MaxInt)
+}
+
+// syncBoundaryOccupancy exchanges the column counts of each shared
+// boundary channel with the neighboring workers and adds theirs into occ
+// as fixed background, so switchable-segment optimization evaluates flips
+// against everything known to occupy the shared channel (§4: "the track
+// information in the shared channel is synchronized between two adjacent
+// processors").
+func syncBoundaryOccupancy(comm mp.Comm, blocks []partition.RowBlock, occ *route.Occupancy) error {
+	rank := comm.Rank()
+	// Lower boundary: channel blocks[rank].Lo, shared with rank-1.
+	if rank > 0 {
+		if err := comm.Send(rank-1, tagBoundaryLo, occ.ChannelCounts(blocks[rank].Lo)); err != nil {
+			return err
+		}
+	}
+	// Upper boundary: channel blocks[rank+1].Lo, shared with rank+1.
+	if rank+1 < comm.Size() {
+		if err := comm.Send(rank+1, tagBoundaryHi, occ.ChannelCounts(blocks[rank+1].Lo)); err != nil {
+			return err
+		}
+	}
+	if rank > 0 {
+		raw, err := comm.Recv(rank-1, tagBoundaryHi)
+		if err != nil {
+			return err
+		}
+		counts, ok := raw.([]int32)
+		if !ok {
+			return fmt.Errorf("parallel: boundary counts from rank %d arrived as %T", rank-1, raw)
+		}
+		occ.AddChannelCounts(blocks[rank].Lo, counts)
+	}
+	if rank+1 < comm.Size() {
+		raw, err := comm.Recv(rank+1, tagBoundaryLo)
+		if err != nil {
+			return err
+		}
+		counts, ok := raw.([]int32)
+		if !ok {
+			return fmt.Errorf("parallel: boundary counts from rank %d arrived as %T", rank+1, raw)
+		}
+		occ.AddChannelCounts(blocks[rank+1].Lo, counts)
+	}
+	return nil
+}
+
+// ownRowWidths reports the post-insertion widths of this block's rows.
+func ownRowWidths(sub *circuit.Circuit, block partition.RowBlock) []RowWidthMsg {
+	out := make([]RowWidthMsg, 0, block.Rows())
+	for r := block.Lo; r <= block.Hi; r++ {
+		out = append(out, RowWidthMsg{Row: r, Width: sub.RowWidth(r)})
+	}
+	return out
+}
+
+// rawGather is rank 0's collected run output, merged into a Result after
+// the simulated run completes (quality evaluation is not routing work, so
+// it stays outside the timed region — the serial baseline excludes its
+// finalize the same way; the gather's communication cost is still paid
+// inside the run).
+type rawGather struct {
+	wireBatches []any
+	summaries   []any
+}
+
+// gatherResults collects every worker's wires and counters at rank 0 and
+// stores the raw batches in out.raw; other ranks just send.
+func gatherResults(comm mp.Comm, wires []metrics.Wire, sum Summary, out *runOutput) error {
+	wbs, err := mp.Gather(comm, 0, tagWires, WireBatch{Wires: wires})
+	if err != nil {
+		return err
+	}
+	sums, err := mp.Gather(comm, 0, tagSummary, sum)
+	if err != nil {
+		return err
+	}
+	if comm.Rank() == 0 {
+		out.raw = &rawGather{wireBatches: wbs, summaries: sums}
+	}
+	return nil
+}
+
+// merge assembles the gathered batches into the final result.
+func (raw *rawGather) merge(base *circuit.Circuit, opt Options) (*metrics.Result, error) {
+	res := &metrics.Result{Circuit: base.Name}
+	coreW := 1
+	for r := range raw.wireBatches {
+		wb, ok := raw.wireBatches[r].(WireBatch)
+		if !ok {
+			return nil, fmt.Errorf("parallel: wires from rank %d arrived as %T", r, raw.wireBatches[r])
+		}
+		res.Wires = append(res.Wires, wb.Wires...)
+		s, ok := raw.summaries[r].(Summary)
+		if !ok {
+			return nil, fmt.Errorf("parallel: summary from rank %d arrived as %T", r, raw.summaries[r])
+		}
+		res.Feedthroughs += s.InsertedFts
+		res.ForcedEdges += s.ForcedEdges
+		res.SwitchableWires += s.SwitchableWs
+		res.SwitchFlips += s.SwitchFlips
+		res.CoarseFlips += s.CoarseFlips
+		for _, rw := range s.RowWidths {
+			coreW = geom.Max(coreW, rw.Width)
+		}
+	}
+	res.CoreWidth = coreW
+	res.Phases = maxPhases(raw.summaries)
+	res.Finalize(base.NumChannels(), len(base.Rows), base.CellHeight, opt.Route.TrackPitch)
+	return res, nil
+}
+
+// maxPhases aggregates per-worker phase times into a critical-path
+// approximation: for every phase name, the maximum across workers.
+func maxPhases(summaries []any) []metrics.Phase {
+	var order []string
+	byName := map[string]time.Duration{}
+	for _, raw := range summaries {
+		s, ok := raw.(Summary)
+		if !ok {
+			continue
+		}
+		for _, ph := range s.Phases {
+			if _, seen := byName[ph.Name]; !seen {
+				order = append(order, ph.Name)
+			}
+			if ph.Elapsed > byName[ph.Name] {
+				byName[ph.Name] = ph.Elapsed
+			}
+		}
+	}
+	out := make([]metrics.Phase, 0, len(order))
+	for _, name := range order {
+		out = append(out, metrics.Phase{Name: name, Elapsed: byName[name]})
+	}
+	return out
+}
+
+// collectNodes groups NodeMsg contributions (already filtered to nets this
+// rank owns) into per-net node lists, in arrival order.
+func collectNodes(in []any) (map[int][]route.Node, error) {
+	byNet := make(map[int][]route.Node)
+	for r, raw := range in {
+		batch, ok := raw.([]NodeMsg)
+		if !ok {
+			return nil, fmt.Errorf("parallel: nodes from rank %d arrived as %T", r, raw)
+		}
+		for _, nm := range batch {
+			byNet[nm.Net] = append(byNet[nm.Net], route.Node{
+				X: nm.X, Row: nm.Row, Side: nm.Side, Pin: -1,
+			})
+		}
+	}
+	return byNet, nil
+}
+
+// connectOwnedNets runs step 4 for every net in byNet and returns the
+// wires plus the forced-edge count. Net IDs are visited in sorted order
+// for determinism. occ is the owner's (necessarily partial: it sees only
+// this rank's nets) live occupancy for switchable channel choices — the
+// interference the paper's §5 describes.
+func connectOwnedNets(byNet map[int][]route.Node, occ *route.Occupancy) (wires []metrics.Wire, forced int) {
+	nets := make([]int, 0, len(byNet))
+	for n := range byNet {
+		nets = append(nets, n)
+	}
+	sort.Ints(nets)
+	for _, n := range nets {
+		nodes := byNet[n]
+		conns, f := route.ConnectNodes(n, nodes, occ)
+		forced += f
+		for i := range conns {
+			wires = append(wires, conns[i].Wire(nodes))
+		}
+	}
+	return wires, forced
+}

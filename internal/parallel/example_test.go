@@ -1,0 +1,35 @@
+package parallel_test
+
+import (
+	"fmt"
+
+	"parroute/internal/gen"
+	"parroute/internal/parallel"
+	"parroute/internal/route"
+)
+
+// ExampleRun routes a circuit with the hybrid algorithm on four simulated
+// processors and compares quality against the serial baseline. Results are
+// deterministic; only timing varies between machines.
+func ExampleRun() {
+	c := gen.Small(42)
+	base, err := parallel.RunBaseline(c, parallel.Options{Procs: 1, Route: route.Options{Seed: 1}})
+	if err != nil {
+		panic(err)
+	}
+	res, err := parallel.Run(c, parallel.Options{
+		Algo:  parallel.Hybrid,
+		Procs: 4,
+		Route: route.Options{Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", res.Algo)
+	fmt.Println("every net connected:", res.ForcedEdges == 0)
+	fmt.Printf("quality within 10%% of serial: %v\n", res.ScaledTracks(base) < 1.10)
+	// Output:
+	// algorithm: hybrid
+	// every net connected: true
+	// quality within 10% of serial: true
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"fmt"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+// hybridWorker is one rank of the hybrid pin-partition algorithm (§6):
+// identical to row-wise through feedthrough assignment, but net connection
+// (step 4) is done for each *whole* net by a single owner, eliminating the
+// duplicated boundary-channel wiring of independent sub-net connection
+// (the paper's Figure 3 artifact). The resulting wires are redistributed
+// to channel owners for switchable optimization.
+func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+	owner []int, opt Options, out *runOutput) error {
+
+	rank := comm.Rank()
+	block := blocks[rank]
+
+	// Phases 1-3: exactly the row-wise pipeline through feedthrough
+	// assignment (fake pins keep the coarse routing and feedthrough
+	// bookkeeping purely local).
+	specs := computeCrossings(base, blocks, owner, rank)
+	myFakes, err := exchangeFakePins(comm, specs)
+	if err != nil {
+		return err
+	}
+	var sub *circuit.Circuit
+	if opt.TrimSubcircuits {
+		sub = buildTrimmedSubCircuit(base, block, myFakes)
+	} else {
+		sub = buildSubCircuit(base, block, myFakes)
+	}
+
+	ropt := opt.Route
+	ropt.Seed = workerSeed(opt.Route.Seed, rank)
+	ropt.GridWidth = base.CoreWidth()
+	rt := route.NewRouter(sub, ropt)
+	rt.BuildTrees()
+	rt.CoarseRoute()
+	rt.InsertFeedthroughs()
+	rt.AssignFeedthroughs()
+
+	// Phase 4: ship every net's connection nodes (real pins and bound
+	// feedthroughs in this block, with authoritative post-insertion
+	// coordinates; fake pins are splitting artifacts and stay home) to the
+	// net's owner, which connects the whole net at once.
+	contrib := make([][]NodeMsg, comm.Size())
+	for n := range sub.Nets {
+		dest := owner[n]
+		for _, pid := range sub.Nets[n].Pins {
+			p := &sub.Pins[pid]
+			if p.Fake || !block.Contains(p.Row) {
+				continue
+			}
+			contrib[dest] = append(contrib[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
+		}
+	}
+	vs := make([]any, comm.Size())
+	for k := range vs {
+		vs[k] = contrib[k]
+	}
+	in, err := mp.Alltoall(comm, tagNetNodes, vs)
+	if err != nil {
+		return err
+	}
+	byNet, err := collectNodes(in)
+	if err != nil {
+		return err
+	}
+	connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
+	connected, forced := connectOwnedNets(byNet, connOcc)
+
+	// Phase 5: redistribute wires to the workers owning their channels
+	// (switchable wires go to the owner of their row, whose two candidate
+	// channels they alternate between).
+	outWires := make([][]metrics.Wire, comm.Size())
+	numRows := len(base.Rows)
+	for i := range connected {
+		w := connected[i]
+		var dest int
+		if w.Switchable {
+			dest = partition.BlockOf(blocks, w.Row)
+		} else {
+			dest = partition.BlockOf(blocks, geom.Min(w.Channel, numRows-1))
+		}
+		outWires[dest] = append(outWires[dest], w)
+	}
+	for k := range vs {
+		vs[k] = WireBatch{Wires: outWires[k]}
+	}
+	in, err = mp.Alltoall(comm, tagWires+1000, vs)
+	if err != nil {
+		return err
+	}
+	var myWires []metrics.Wire
+	for r, raw := range in {
+		wb, ok := raw.(WireBatch)
+		if !ok {
+			return fmt.Errorf("parallel: redistributed wires from rank %d arrived as %T", r, raw)
+		}
+		myWires = append(myWires, wb.Wires...)
+	}
+
+	// Phase 6: switchable optimization over this rank's channels, with
+	// the shared boundary channels synchronized once with the neighbors.
+	coreW, err := globalCoreWidth(comm, sub, block)
+	if err != nil {
+		return err
+	}
+	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+	occ.AddWires(myWires)
+	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
+		return err
+	}
+	switchable := 0
+	for i := range myWires {
+		if myWires[i].Switchable && !myWires[i].Span.Empty() {
+			switchable++
+		}
+	}
+	flips := route.OptimizeSwitchable(myWires, occ, rt.Rand, ropt.SwitchPasses)
+
+	// Phase 7: merge at rank 0.
+	sum := Summary{
+		InsertedFts:  rt.InsertedFts,
+		ForcedEdges:  forced,
+		SwitchableWs: switchable,
+		SwitchFlips:  flips,
+		CoarseFlips:  rt.CoarseFlips,
+		RowWidths:    ownRowWidths(sub, block),
+	}
+	return gatherResults(comm, myWires, sum, out)
+}

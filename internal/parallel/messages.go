@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"parroute/internal/circuit"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+)
+
+// Message tags. Every protocol phase uses its own tag so streams between
+// the same pair of ranks cannot interleave.
+const (
+	tagFakePins = iota + 100
+	tagCrossings
+	tagFtNodes
+	tagNetNodes
+	tagWires
+	tagSummary
+	tagBoundaryLo
+	tagBoundaryHi
+	tagGridSync
+	tagOccSync
+	tagWidths
+	tagForced
+)
+
+// FakePinSpec asks a block worker to add a fake pin for a net at a
+// partition boundary: the crossing point of a Steiner segment (paper §4,
+// Figure 2).
+type FakePinSpec struct {
+	Net  int
+	X    int
+	Row  int
+	Side circuit.Side
+}
+
+// CrossingMsg tells a row owner that a segment of Net crosses Row at
+// column X and needs a feedthrough there (net-wise algorithm, step 3).
+type CrossingMsg struct {
+	Net int
+	X   int
+	Row int
+}
+
+// FtNodeMsg returns an assigned feedthrough to a net owner: a step-4 node
+// at (X, Row) reachable from both adjacent channels.
+type FtNodeMsg struct {
+	Net int
+	X   int
+	Row int
+}
+
+// NodeMsg contributes a connection node (a real pin or an assigned
+// feedthrough, with authoritative post-insertion coordinates) of Net to
+// the net's owner for whole-net connection.
+type NodeMsg struct {
+	Net  int
+	X    int
+	Row  int
+	Side circuit.Side
+}
+
+// WireBatch carries final wires from a worker to rank 0 (or between
+// workers when redistributing by channel owner).
+type WireBatch struct {
+	Wires []metrics.Wire
+}
+
+// RowWidthMsg reports the post-insertion width of one owned row.
+type RowWidthMsg struct {
+	Row   int
+	Width int
+}
+
+// Summary carries a worker's counters to rank 0 for the merged result.
+type Summary struct {
+	Rank         int
+	InsertedFts  int
+	ForcedEdges  int
+	SwitchableWs int
+	SwitchFlips  int
+	CoarseFlips  int
+	RowWidths    []RowWidthMsg
+	// Phases records the worker's wall time per pipeline phase (compute
+	// only; communication waits excluded under the Virtual engine).
+	Phases []metrics.Phase
+}
+
+func init() {
+	// Register every payload type so the TCP engine (and the Virtual
+	// engine's size accounting) can gob-encode them.
+	mp.RegisterPayload([]FakePinSpec{})
+	mp.RegisterPayload([]CrossingMsg{})
+	mp.RegisterPayload([]FtNodeMsg{})
+	mp.RegisterPayload([]NodeMsg{})
+	mp.RegisterPayload(WireBatch{})
+	mp.RegisterPayload(Summary{})
+	mp.RegisterPayload([]int32{})
+	mp.RegisterPayload([]any{})
+	mp.RegisterPayload(0)
+	mp.RegisterPayload(true)
+}

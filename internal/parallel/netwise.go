@@ -1,0 +1,355 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+
+	"parroute/internal/circuit"
+	"parroute/internal/grid"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/rng"
+	"parroute/internal/route"
+	"parroute/internal/steiner"
+)
+
+// netWiseWorker is one rank of the net-wise pin-partition algorithm (§5).
+// Nets (and their pins) are partitioned by the configured heuristic; rows
+// remain block-partitioned for feedthrough bookkeeping.
+//
+//  1. Each rank builds the Steiner trees of its nets.
+//  2. Coarse routing optimizes the rank's own segments against a
+//     replicated global grid that is synchronized NetwiseSyncPerPass times
+//     per improvement pass — between syncs the other ranks' contributions
+//     are stale, which is exactly the quality-loss mechanism the paper
+//     reports.
+//  3. Feedthrough demand is realized by row owners; crossings are shipped
+//     to row owners for assignment and the assigned feedthroughs return
+//     to net owners.
+//  4. Row owners contribute every net's pin nodes (authoritative
+//     post-insertion coordinates); net owners connect their whole nets.
+//  5. Switchable optimization runs per net owner against a replicated
+//     channel occupancy with the same periodic synchronization — ranks
+//     flip segments into the same channels between syncs ("the blindness
+//     of each processor", §7.2).
+func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+	owner []int, opt Options, out *runOutput) error {
+
+	rank := comm.Rank()
+	size := comm.Size()
+	block := blocks[rank]
+	sub := base.Clone()
+	ropt := opt.Route
+	ropt.Seed = workerSeed(opt.Route.Seed, rank)
+	rnd := rng.New(ropt.Seed)
+
+	// Phase 1: Steiner trees of owned nets.
+	var segs []route.PlacedSeg
+	for n := range sub.Nets {
+		if owner[n] != rank {
+			continue
+		}
+		for _, seg := range steiner.BuildNet(sub, n) {
+			segs = append(segs, route.Place(sub, seg))
+		}
+	}
+
+	// Phase 2: coarse routing against the replicated grid.
+	own := grid.New(len(sub.Rows), base.CoreWidth(), ropt.GridColWidth)
+	for i := range segs {
+		route.ApplyRuns(own, segs[i].CurrentRuns(), 1)
+	}
+	shared, err := allreduceGrid(comm, own)
+	if err != nil {
+		return err
+	}
+	cands := make([]int, 0, len(segs))
+	for i := range segs {
+		if segs[i].HasBend() && segs[i].XP != segs[i].XQ {
+			cands = append(cands, i)
+		}
+	}
+	coarseFlips := 0
+	for pass := 0; pass < ropt.CoarsePasses; pass++ {
+		perm := rnd.Perm(len(cands))
+		passFlips := 0
+		err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
+			for _, pi := range perm[lo:hi] {
+				ps := &segs[cands[pi]]
+				cur := ps.CurrentRuns()
+				route.ApplyRuns(shared, cur, -1)
+				alt := ps.RunsFor(!ps.BendAtP)
+				if route.RunsCost(shared, alt, ropt.FtBase) < route.RunsCost(shared, cur, ropt.FtBase) {
+					ps.BendAtP = !ps.BendAtP
+					route.ApplyRuns(shared, alt, 1)
+					route.ApplyRuns(own, cur, -1)
+					route.ApplyRuns(own, alt, 1)
+					passFlips++
+				} else {
+					route.ApplyRuns(shared, cur, 1)
+				}
+			}
+			if opt.NetwiseSyncPerPass > 0 {
+				shared, err = allreduceGrid(comm, own)
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		coarseFlips += passFlips
+		globalFlips, err := mp.AllreduceInt(comm, tagGridSync+1, passFlips, mp.SumInt)
+		if err != nil {
+			return err
+		}
+		if globalFlips == 0 {
+			break
+		}
+	}
+
+	// The feedthrough demand realized next must be identical on every
+	// rank regardless of the sync policy, so one final exact allreduce
+	// closes the coarse phase (its cost is charged like any other sync).
+	shared, err = allreduceGrid(comm, own)
+	if err != nil {
+		return err
+	}
+
+	// Phase 3a: realize feedthrough demand in this rank's rows. The final
+	// synchronized grid is identical everywhere, so row owners see the
+	// complete demand.
+	inserted := 0
+	ftByRow := make([][]int, len(sub.Rows))
+	for row := block.Lo; row <= block.Hi; row++ {
+		for col := 0; col < shared.Cols; col++ {
+			for i := 0; i < shared.FtDemand(row, col); i++ {
+				pin := sub.InsertFeedthrough(row, shared.ColCenter(col), circuit.NoNet)
+				ftByRow[row] = append(ftByRow[row], pin)
+				inserted++
+			}
+		}
+	}
+	// Refresh segment endpoints that sit in this rank's (now shifted) rows.
+	for i := range segs {
+		segs[i].XP = sub.Pins[segs[i].PinAtP].X
+		segs[i].XQ = sub.Pins[segs[i].PinAtQ].X
+	}
+
+	// Phase 3b: ship crossings to row owners for assignment.
+	cross := make([][]CrossingMsg, size)
+	for i := range segs {
+		runs := segs[i].CurrentRuns()
+		if !runs.HasVert() {
+			continue
+		}
+		for row := runs.VLo; row <= runs.VHi; row++ {
+			dest := partition.BlockOf(blocks, row)
+			cross[dest] = append(cross[dest], CrossingMsg{Net: segs[i].Seg.Net, X: runs.VCol, Row: row})
+		}
+	}
+	vs := make([]any, size)
+	for k := range vs {
+		vs[k] = cross[k]
+	}
+	in, err := mp.Alltoall(comm, tagCrossings, vs)
+	if err != nil {
+		return err
+	}
+	byRow := make([][]CrossingMsg, len(sub.Rows))
+	for r, raw := range in {
+		batch, ok := raw.([]CrossingMsg)
+		if !ok {
+			return fmt.Errorf("parallel: crossings from rank %d arrived as %T", r, raw)
+		}
+		for _, cr := range batch {
+			byRow[cr.Row] = append(byRow[cr.Row], cr)
+		}
+	}
+
+	// Assign per row (sorted matching, as in the serial step 3) and route
+	// each assigned feedthrough back to the net's owner as a step-4 node.
+	ftNodes := make([][]NodeMsg, size)
+	for row := block.Lo; row <= block.Hi; row++ {
+		crossings := byRow[row]
+		sort.SliceStable(crossings, func(i, j int) bool {
+			if crossings[i].X != crossings[j].X {
+				return crossings[i].X < crossings[j].X
+			}
+			return crossings[i].Net < crossings[j].Net
+		})
+		fts := ftByRow[row]
+		sort.Slice(fts, func(i, j int) bool { return sub.Pins[fts[i]].X < sub.Pins[fts[j]].X })
+		for i, cr := range crossings {
+			var pinID int
+			if i < len(fts) {
+				pinID = fts[i]
+			} else {
+				pinID = sub.InsertFeedthrough(row, cr.X, circuit.NoNet)
+				inserted++
+			}
+			dest := owner[cr.Net]
+			ftNodes[dest] = append(ftNodes[dest], NodeMsg{
+				Net: cr.Net, X: sub.Pins[pinID].X, Row: row, Side: circuit.Both,
+			})
+		}
+	}
+
+	// Phase 4: pin nodes to net owners, then whole-net connection. Row
+	// owners ship authoritative (post-insertion) pin coordinates so all of
+	// a net's geometry lives in one coherent frame at its owner.
+	pinNodes := make([][]NodeMsg, size)
+	for n := range sub.Nets {
+		dest := owner[n]
+		for _, pid := range sub.Nets[n].Pins {
+			p := &sub.Pins[pid]
+			if !block.Contains(p.Row) {
+				continue // the row owner contributes this pin
+			}
+			pinNodes[dest] = append(pinNodes[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
+		}
+	}
+	for k := range vs {
+		vs[k] = pinNodes[k]
+	}
+	in, err = mp.Alltoall(comm, tagNetNodes, vs)
+	if err != nil {
+		return err
+	}
+	byNet, err := collectNodes(in)
+	if err != nil {
+		return err
+	}
+	for k := range vs {
+		vs[k] = ftNodes[k]
+	}
+	in, err = mp.Alltoall(comm, tagFtNodes, vs)
+	if err != nil {
+		return err
+	}
+	ftByNet, err := collectNodes(in)
+	if err != nil {
+		return err
+	}
+	for n, nodes := range ftByNet {
+		byNet[n] = append(byNet[n], nodes...)
+	}
+	connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
+	wires, forced := connectOwnedNets(byNet, connOcc)
+
+	// Phase 5: switchable optimization with replicated occupancy.
+	coreW, err := globalCoreWidth(comm, sub, block)
+	if err != nil {
+		return err
+	}
+	ownOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+	ownOcc.AddWires(wires)
+	sharedOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+	if err := allreduceOcc(comm, ownOcc, sharedOcc); err != nil {
+		return err
+	}
+	switchIdx := make([]int, 0, len(wires))
+	for i := range wires {
+		if wires[i].Switchable && !wires[i].Span.Empty() {
+			switchIdx = append(switchIdx, i)
+		}
+	}
+	switchFlips := 0
+	for pass := 0; pass < ropt.SwitchPasses; pass++ {
+		perm := rnd.Perm(len(switchIdx))
+		passFlips := 0
+		err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
+			for _, pi := range perm[lo:hi] {
+				w := &wires[switchIdx[pi]]
+				other := w.OtherChannel()
+				if sharedOcc.MoveCost(w.Channel, other, w.Span) < 0 {
+					sharedOcc.Add(w.Channel, w.Span, -1)
+					sharedOcc.Add(other, w.Span, 1)
+					ownOcc.Add(w.Channel, w.Span, -1)
+					ownOcc.Add(other, w.Span, 1)
+					w.Channel = other
+					passFlips++
+				}
+			}
+			if opt.NetwiseSyncPerPass > 0 {
+				return allreduceOcc(comm, ownOcc, sharedOcc)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		switchFlips += passFlips
+		globalFlips, err := mp.AllreduceInt(comm, tagOccSync+1, passFlips, mp.SumInt)
+		if err != nil {
+			return err
+		}
+		if globalFlips == 0 {
+			break
+		}
+	}
+
+	// Phase 6: merge at rank 0.
+	sum := Summary{
+		InsertedFts:  inserted,
+		ForcedEdges:  forced,
+		SwitchableWs: len(switchIdx),
+		SwitchFlips:  switchFlips,
+		CoarseFlips:  coarseFlips,
+		RowWidths:    ownRowWidths(sub, block),
+	}
+	return gatherResults(comm, wires, sum, out)
+}
+
+// forEachChunk splits [0, n) into `chunks` contiguous pieces (at least
+// one; empty pieces still invoke f so every rank performs the same number
+// of synchronization points regardless of its local work count).
+func forEachChunk(n, chunks int, f func(lo, hi int) error) error {
+	if chunks < 1 {
+		chunks = 1
+	}
+	per := (n + chunks - 1) / chunks
+	if per < 1 {
+		per = 1
+	}
+	lo := 0
+	for i := 0; i < chunks; i++ {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if err := f(lo, hi); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// allreduceGrid sums every rank's own-contribution grid into a fresh
+// global grid (returned on every rank).
+func allreduceGrid(comm mp.Comm, own *grid.Grid) (*grid.Grid, error) {
+	// Copy before sending: the sender keeps mutating its own grid, and mp
+	// payloads belong to the receiver after Send.
+	dens, err := mp.AllreduceInt32s(comm, tagGridSync, append([]int32(nil), own.Dens...), mp.SumInt32s)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := mp.AllreduceInt32s(comm, tagGridSync, append([]int32(nil), own.Ft...), mp.SumInt32s)
+	if err != nil {
+		return nil, err
+	}
+	g := &grid.Grid{Rows: own.Rows, Channels: own.Channels, Cols: own.Cols,
+		ColWidth: own.ColWidth, Dens: dens, Ft: ft}
+	return g, nil
+}
+
+// allreduceOcc sums every rank's own-wire occupancy into shared.
+func allreduceOcc(comm mp.Comm, own, shared *route.Occupancy) error {
+	counts, err := mp.AllreduceInt32s(comm, tagOccSync, own.Counts(), mp.SumInt32s)
+	if err != nil {
+		return err
+	}
+	shared.SetCounts(counts)
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package parallel implements the paper's three parallel global-routing
+// algorithms on top of the serial TWGR pipeline (internal/route) and the
+// message-passing substrate (internal/mp):
+//
+//   - RowWise (§4): rows are partitioned contiguously across workers; nets
+//     are split into sub-nets with fake pins at the partition boundaries
+//     (placed where their Steiner-tree segments cross); every worker runs
+//     the full TWGR pipeline on its sub-circuit, synchronizing shared
+//     boundary channels with its neighbors before switchable-segment
+//     optimization.
+//   - NetWise (§5): nets and their pins are partitioned by a weight
+//     heuristic; the coarse-routing grid and the channel occupancies are
+//     replicated and synchronized periodically, crossings are shipped to
+//     row owners for feedthrough assignment, and every net is connected by
+//     its owner.
+//   - Hybrid (§6): row-wise everywhere, except that step 4 connects every
+//     net whole at a single owner, removing the duplicated boundary-channel
+//     wiring that costs the row-wise algorithm quality.
+//
+// All three run on any mp engine; under mp.Virtual the returned result
+// carries the simulated parallel runtime of the modeled machine.
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"parroute/internal/circuit"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+// Algorithm selects one of the paper's three parallel algorithms.
+type Algorithm int
+
+const (
+	RowWise Algorithm = iota
+	NetWise
+	Hybrid
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case RowWise:
+		return "rowwise"
+	case NetWise:
+		return "netwise"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists all three, in the paper's presentation order.
+func Algorithms() []Algorithm { return []Algorithm{RowWise, NetWise, Hybrid} }
+
+// Options configures a parallel routing run.
+type Options struct {
+	Algo  Algorithm
+	Procs int
+	// Mode selects the mp engine; Model is its cost model under
+	// mp.Virtual (zero value: mp.SMP()).
+	Mode  mp.Mode
+	Model mp.CostModel
+	// Route carries the serial router's knobs; Route.Seed also seeds the
+	// per-worker streams.
+	Route route.Options
+	// Net selects the net-partition heuristic (paper §5). Default
+	// PinWeight, the paper's recommendation.
+	Net partition.Config
+	// TrimSubcircuits makes the row-wise and hybrid workers build compact
+	// sub-circuits holding only their own rows' cells and pins (plus fake
+	// pins) instead of a full clone — the paper's memory-scalability
+	// motivation for the row partition ("to solve large routing problems
+	// which require considerable amount of memory"). Routing results are
+	// identical with or without trimming; only per-worker memory changes.
+	TrimSubcircuits bool
+	// NetwiseSyncPerPass is how many grid/occupancy synchronizations the
+	// net-wise algorithm performs per improvement pass. More syncs mean
+	// fresher shared state (better quality) and more communication (worse
+	// runtime) — the trade-off of §7.2. Negative means no mid-phase syncs
+	// at all: every rank optimizes against the phase-start snapshot plus
+	// its own changes ("the blindness of each processor"). Default 4 —
+	// "the routing quality is controlled by frequent synchronization but
+	// this reduces the runtime performance".
+	NetwiseSyncPerPass int
+}
+
+func (o *Options) normalize() error {
+	if o.Procs <= 0 {
+		return fmt.Errorf("parallel: Procs must be positive, got %d", o.Procs)
+	}
+	o.Route.Normalize()
+	if o.NetwiseSyncPerPass == 0 {
+		o.NetwiseSyncPerPass = 4
+	}
+	if o.NetwiseSyncPerPass < 0 {
+		o.NetwiseSyncPerPass = 0 // explicit "never sync mid-phase"
+	}
+	if o.Net.Method == partition.Center && o.Net.Alpha == 0 && o.Net.LargeFactor == 0 {
+		// Untouched zero config: use the paper's recommended default.
+		o.Net.Method = partition.PinWeight
+	}
+	return nil
+}
+
+// workerSeed derives the RNG seed of one worker so that a single-worker
+// run consumes exactly the serial router's stream (rank 0 gets the base
+// seed).
+func workerSeed(base uint64, rank int) uint64 {
+	return base + uint64(rank)*0x9e3779b97f4a7c15
+}
+
+// Run routes the circuit with the selected parallel algorithm and returns
+// the merged result. The input circuit is not modified. The result's
+// Elapsed is the simulated machine time under mp.Virtual and wall time
+// otherwise.
+func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if len(c.Rows) < opt.Procs {
+		return nil, fmt.Errorf("parallel: %d workers for %d rows", opt.Procs, len(c.Rows))
+	}
+	blocks, err := partition.RowBlocks(c, opt.Procs)
+	if err != nil {
+		return nil, err
+	}
+	owner, err := partition.Nets(c, blocks, opt.Procs, opt.Net)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &runOutput{}
+	cfg := mp.Config{Procs: opt.Procs, Mode: opt.Mode, Model: opt.Model}
+	var worker func(mp.Comm) error
+	switch opt.Algo {
+	case RowWise:
+		worker = func(comm mp.Comm) error { return rowWiseWorker(comm, c, blocks, owner, opt, out) }
+	case NetWise:
+		worker = func(comm mp.Comm) error { return netWiseWorker(comm, c, blocks, owner, opt, out) }
+	case Hybrid:
+		worker = func(comm mp.Comm) error { return hybridWorker(comm, c, blocks, owner, opt, out) }
+	default:
+		return nil, fmt.Errorf("parallel: unknown algorithm %v", opt.Algo)
+	}
+	elapsed, err := cfg.Run(worker)
+	if err != nil {
+		return nil, err
+	}
+	if out.raw == nil {
+		return nil, fmt.Errorf("parallel: run completed without a result")
+	}
+	res, err := out.raw.merge(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Algo = opt.Algo.String()
+	res.Procs = opt.Procs
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// runOutput carries rank 0's gathered raw output from the workers back to
+// Run, which merges it outside the timed region.
+type runOutput struct {
+	raw *rawGather
+}
+
+// RunBaseline routes serially with the same route options, producing the
+// "1 processor" reference row of the paper's tables. Elapsed is measured
+// single-threaded wall time, directly comparable to the Virtual engine's
+// simulated times (worker compute spans are measured the same way).
+func RunBaseline(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rt := route.NewRouter(c.Clone(), opt.Route)
+	rt.BuildTrees()
+	rt.CoarseRoute()
+	rt.InsertFeedthroughs()
+	rt.AssignFeedthroughs()
+	rt.ConnectNets()
+	rt.OptimizeSwitchable()
+	return rt.Result("twgr-serial", 1, time.Since(start)), nil
+}

@@ -1,0 +1,512 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+
+	"parroute/internal/circuit"
+	"parroute/internal/gen"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+func testCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	return gen.Small(42) // 8 rows, ~240 cells, ~260 nets
+}
+
+func baseline(t *testing.T, c *circuit.Circuit) *metrics.Result {
+	t.Helper()
+	res, err := RunBaseline(c, Options{Procs: 1, Route: route.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleWorkerEqualsSerial(t *testing.T) {
+	c := testCircuit(t)
+	base := baseline(t, c)
+	for _, algo := range Algorithms() {
+		res, err := Run(c, Options{Algo: algo, Procs: 1, Route: route.Options{Seed: 1}})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.TotalTracks != base.TotalTracks {
+			t.Errorf("%v at P=1: %d tracks, serial %d", algo, res.TotalTracks, base.TotalTracks)
+		}
+		if res.Feedthroughs != base.Feedthroughs {
+			t.Errorf("%v at P=1: %d fts, serial %d", algo, res.Feedthroughs, base.Feedthroughs)
+		}
+		if res.Wirelength != base.Wirelength {
+			t.Errorf("%v at P=1: WL %d, serial %d", algo, res.Wirelength, base.Wirelength)
+		}
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	c := testCircuit(t)
+	for _, algo := range Algorithms() {
+		a, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		b, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if a.TotalTracks != b.TotalTracks || a.Wirelength != b.Wirelength ||
+			a.Feedthroughs != b.Feedthroughs {
+			t.Errorf("%v: repeated run differs: %d/%d tracks", algo, a.TotalTracks, b.TotalTracks)
+		}
+	}
+}
+
+func TestEnginesProduceIdenticalRouting(t *testing.T) {
+	// The engine (virtual DES, concurrent goroutines, TCP sockets) must
+	// never change the routing result — only the timing.
+	c := testCircuit(t)
+	for _, algo := range Algorithms() {
+		var ref *metrics.Result
+		for _, mode := range []mp.Mode{mp.Virtual, mp.Inproc, mp.TCP} {
+			res, err := Run(c, Options{Algo: algo, Procs: 3, Mode: mode,
+				Route: route.Options{Seed: 5}})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", algo, mode, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.TotalTracks != ref.TotalTracks || res.Wirelength != ref.Wirelength ||
+				res.Feedthroughs != ref.Feedthroughs || len(res.Wires) != len(ref.Wires) {
+				t.Errorf("%v/%v: differs from virtual engine (%d vs %d tracks)",
+					algo, mode, res.TotalTracks, ref.TotalTracks)
+			}
+		}
+	}
+}
+
+func TestAllNetsConnectedUnderPartitioning(t *testing.T) {
+	// Forced edges mean a net could not be connected through adjacent
+	// rows — the fake-pin/feedthrough machinery must prevent that at any
+	// worker count.
+	c := testCircuit(t)
+	for _, algo := range Algorithms() {
+		for _, p := range []int{2, 3, 4, 8} {
+			res, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", algo, p, err)
+			}
+			if res.ForcedEdges != 0 {
+				t.Errorf("%v p=%d: %d forced edges", algo, p, res.ForcedEdges)
+			}
+		}
+	}
+}
+
+func TestQualityDegradationBounded(t *testing.T) {
+	c := testCircuit(t)
+	base := baseline(t, c)
+	for _, algo := range Algorithms() {
+		for _, p := range []int{2, 4} {
+			res, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", algo, p, err)
+			}
+			scaled := res.ScaledTracks(base)
+			if scaled > 1.5 {
+				t.Errorf("%v p=%d: scaled tracks %.3f — partitioning destroyed quality", algo, p, scaled)
+			}
+			if scaled < 0.8 {
+				t.Errorf("%v p=%d: scaled tracks %.3f — parallel run suspiciously beats serial "+
+					"(likely missing wires)", algo, p, scaled)
+			}
+		}
+	}
+}
+
+func TestWireConservation(t *testing.T) {
+	// Every multi-pin net must contribute wires at any worker count, and
+	// the per-net wire counts must match nodes-1 (tree property) for
+	// hybrid and netwise (whole-net connection).
+	c := testCircuit(t)
+	base := baseline(t, c)
+	baseNets := map[int]int{}
+	for i := range base.Wires {
+		baseNets[base.Wires[i].Net]++
+	}
+	for _, algo := range Algorithms() {
+		res, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNets := map[int]int{}
+		for i := range res.Wires {
+			gotNets[res.Wires[i].Net]++
+		}
+		for n := range baseNets {
+			if gotNets[n] == 0 {
+				t.Errorf("%v: net %d lost all its wires", algo, n)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := testCircuit(t)
+	if _, err := Run(c, Options{Procs: 0}); err == nil {
+		t.Fatal("Procs=0 accepted")
+	}
+	if _, err := Run(c, Options{Procs: 1000}); err == nil {
+		t.Fatal("more workers than rows accepted")
+	}
+	if _, err := Run(c, Options{Algo: Algorithm(99), Procs: 2}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNetPartitionMethodsAllWork(t *testing.T) {
+	c := testCircuit(t)
+	base := baseline(t, c)
+	for _, m := range partition.Methods() {
+		res, err := Run(c, Options{Algo: Hybrid, Procs: 4,
+			Route: route.Options{Seed: 1}, Net: partition.Config{Method: m}})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.ForcedEdges != 0 {
+			t.Errorf("%v: forced edges", m)
+		}
+		if res.ScaledTracks(base) > 1.5 {
+			t.Errorf("%v: scaled %.2f", m, res.ScaledTracks(base))
+		}
+	}
+}
+
+func TestNetwiseSyncKnob(t *testing.T) {
+	c := testCircuit(t)
+	// More syncs must not be cheaper (simulated time) at the same quality
+	// scale; both settings must route every net.
+	blind, err := Run(c, Options{Algo: NetWise, Procs: 4,
+		Route: route.Options{Seed: 1}, NetwiseSyncPerPass: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chatty, err := Run(c, Options{Algo: NetWise, Procs: 4,
+		Route: route.Options{Seed: 1}, NetwiseSyncPerPass: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.ForcedEdges != 0 || chatty.ForcedEdges != 0 {
+		t.Fatal("sync setting broke connectivity")
+	}
+	if blind.TotalTracks <= 0 || chatty.TotalTracks <= 0 {
+		t.Fatal("degenerate results")
+	}
+}
+
+func TestComputeCrossings(t *testing.T) {
+	// Hand-built circuit: 4 rows, 2 blocks; one net spanning the blocks
+	// must produce exactly one fake-pin pair at the boundary; one net
+	// inside a block must produce none.
+	c := &circuit.Circuit{Name: "x", CellHeight: 10, FeedWidth: 2}
+	for r := 0; r < 4; r++ {
+		c.AddRow()
+		c.AddCell(r, 100)
+	}
+	cross := c.AddNet("cross")
+	c.AddPin(c.Rows[0].Cells[0], cross, 10, circuit.Bottom)
+	c.AddPin(c.Rows[3].Cells[0], cross, 50, circuit.Top)
+	local := c.AddNet("local")
+	c.AddPin(c.Rows[0].Cells[0], local, 20, circuit.Bottom)
+	c.AddPin(c.Rows[1].Cells[0], local, 30, circuit.Top)
+
+	blocks := []partition.RowBlock{{Lo: 0, Hi: 1}, {Lo: 2, Hi: 3}}
+	owner := []int{0, 0}
+	specs := computeCrossings(c, blocks, owner, 0)
+	if len(specs[0]) != 1 || len(specs[1]) != 1 {
+		t.Fatalf("spec counts: %d, %d (want 1, 1)", len(specs[0]), len(specs[1]))
+	}
+	lo, hi := specs[0][0], specs[1][0]
+	if lo.Net != cross || hi.Net != cross {
+		t.Fatal("specs attached to the wrong net")
+	}
+	if lo.Row != 1 || lo.Side != circuit.Top {
+		t.Fatalf("lower spec = %+v", lo)
+	}
+	if hi.Row != 2 || hi.Side != circuit.Bottom {
+		t.Fatalf("upper spec = %+v", hi)
+	}
+	if lo.X != hi.X {
+		t.Fatal("pair at different columns")
+	}
+	// A rank that owns no nets emits nothing.
+	specs = computeCrossings(c, blocks, owner, 1)
+	if len(specs[0])+len(specs[1]) != 0 {
+		t.Fatal("non-owner emitted specs")
+	}
+}
+
+func TestBuildSubCircuit(t *testing.T) {
+	c := testCircuit(t)
+	blocks, _ := partition.RowBlocks(c, 2)
+	fakes := []FakePinSpec{{Net: 0, X: 10, Row: blocks[0].Hi, Side: circuit.Top}}
+	sub := buildSubCircuit(c, blocks[0], fakes)
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub-circuit invalid: %v", err)
+	}
+	// Every net pin inside the sub-circuit lies in the block or is fake.
+	for n := range sub.Nets {
+		for _, pid := range sub.Nets[n].Pins {
+			p := &sub.Pins[pid]
+			if !p.Fake && !blocks[0].Contains(p.Row) {
+				t.Fatalf("net %d keeps foreign pin in row %d", n, p.Row)
+			}
+		}
+	}
+	// Detached pins are marked NoNet.
+	for i := range c.Pins {
+		p := &sub.Pins[i]
+		if !blocks[0].Contains(p.Row) && p.Net != circuit.NoNet {
+			t.Fatalf("foreign pin %d still attached to net %d", i, p.Net)
+		}
+	}
+	// The fake pin exists and is attached.
+	last := &sub.Pins[len(sub.Pins)-1]
+	if !last.Fake || last.Net != 0 {
+		t.Fatalf("fake pin missing: %+v", last)
+	}
+	// The base circuit is untouched.
+	if len(c.Pins) == len(sub.Pins) {
+		t.Fatal("fake pin not added")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("base circuit corrupted: %v", err)
+	}
+}
+
+func TestMaxPhasesAggregation(t *testing.T) {
+	sums := []any{
+		Summary{Rank: 0, Phases: []metrics.Phase{{Name: "a", Elapsed: 5}, {Name: "b", Elapsed: 2}}},
+		Summary{Rank: 1, Phases: []metrics.Phase{{Name: "a", Elapsed: 3}, {Name: "b", Elapsed: 9}}},
+	}
+	got := maxPhases(sums)
+	if len(got) != 2 || got[0].Name != "a" || got[0].Elapsed != 5 || got[1].Elapsed != 9 {
+		t.Fatalf("maxPhases = %+v", got)
+	}
+}
+
+func TestForEachChunk(t *testing.T) {
+	var bounds [][2]int
+	err := forEachChunk(10, 3, func(lo, hi int) error {
+		bounds = append(bounds, [2]int{lo, hi})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 3 {
+		t.Fatalf("%d chunks, want 3", len(bounds))
+	}
+	covered := 0
+	prev := 0
+	for _, b := range bounds {
+		if b[0] != prev {
+			t.Fatalf("gap before chunk %v", b)
+		}
+		covered += b[1] - b[0]
+		prev = b[1]
+	}
+	if covered != 10 {
+		t.Fatalf("covered %d of 10", covered)
+	}
+	// Empty input still invokes the callback the same number of times
+	// (workers must stay in lockstep even with no local work).
+	calls := 0
+	if err := forEachChunk(0, 4, func(lo, hi int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("%d calls on empty input, want 4", calls)
+	}
+}
+
+func TestRowWiseQualityDegradesWithWorkers(t *testing.T) {
+	// The paper's central quality observation: row-wise quality gets
+	// worse as workers increase (Table 2); the serial run is the best.
+	c := testCircuit(t)
+	base := baseline(t, c)
+	prev := float64(0.99) // allow tiny noise at p=2
+	for _, p := range []int{2, 8} {
+		res, err := Run(c, Options{Algo: RowWise, Procs: p, Route: route.Options{Seed: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled := res.ScaledTracks(base)
+		if scaled < prev-0.05 {
+			t.Fatalf("p=%d scaled %.3f dropped well below p/2's %.3f", p, scaled, prev)
+		}
+		prev = scaled
+	}
+}
+
+func TestHybridBeatsRowWiseQuality(t *testing.T) {
+	// §6: the hybrid algorithm provides the best quality among the
+	// parallel algorithms. Compare at 8 workers on a mid-size circuit.
+	c, err := gen.Benchmark("primary2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Run(c, Options{Algo: RowWise, Procs: 8, Route: route.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Run(c, Options{Algo: Hybrid, Procs: 8, Route: route.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.TotalTracks > row.TotalTracks {
+		t.Fatalf("hybrid (%d tracks) worse than row-wise (%d tracks)",
+			hyb.TotalTracks, row.TotalTracks)
+	}
+}
+
+func TestSummariesMergeCounts(t *testing.T) {
+	c := testCircuit(t)
+	res, err := Run(c, Options{Algo: RowWise, Procs: 4, Route: route.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feedthrough count in the merged result must equal the feedthrough
+	// wires' implied count: every ft pin is bound to a net and becomes a
+	// node; we can't count them from wires directly, but the count must
+	// be positive and the core width must cover every wire.
+	if res.Feedthroughs <= 0 {
+		t.Fatal("no feedthroughs reported")
+	}
+	maxX := 0
+	for i := range res.Wires {
+		if !res.Wires[i].Span.Empty() && res.Wires[i].Span.Hi > maxX {
+			maxX = res.Wires[i].Span.Hi
+		}
+	}
+	if res.CoreWidth < maxX-1 {
+		t.Fatalf("core width %d but wires reach %d", res.CoreWidth, maxX)
+	}
+	// Channel densities must be defined for all channels.
+	if len(res.ChannelDensity) != c.NumChannels() {
+		t.Fatalf("%d channel densities for %d channels",
+			len(res.ChannelDensity), c.NumChannels())
+	}
+}
+
+func TestWorkerSeedsDiffer(t *testing.T) {
+	seen := map[uint64]bool{}
+	for rank := 0; rank < 16; rank++ {
+		s := workerSeed(7, rank)
+		if seen[s] {
+			t.Fatalf("duplicate worker seed at rank %d", rank)
+		}
+		seen[s] = true
+	}
+	if workerSeed(7, 0) != 7 {
+		t.Fatal("rank 0 must keep the base seed (serial equivalence)")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Algorithms() {
+		names[a.String()] = true
+	}
+	if len(names) != 3 {
+		t.Fatalf("algorithm names not distinct: %v", names)
+	}
+	if Algorithm(42).String() == "" {
+		t.Fatal("unknown algorithm should format")
+	}
+}
+
+func TestChannelDensitySumStableAcrossBlockCounts(t *testing.T) {
+	// Wire multiset per net should be "similar" across P: at least the
+	// sorted per-channel densities should not contain empty channels that
+	// serial fills (sanity against dropped channels in the merge).
+	c := testCircuit(t)
+	base := baseline(t, c)
+	res, err := Run(c, Options{Algo: Hybrid, Procs: 4, Route: route.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch, d := range base.ChannelDensity {
+		if d > 0 && res.ChannelDensity[ch] == 0 {
+			t.Errorf("channel %d: serial density %d but parallel 0 — wires lost in merge", ch, d)
+		}
+	}
+	sort.Ints(res.ChannelDensity) // exercise no panic; densities well-formed
+}
+
+func TestTrimmedSubcircuitsIdenticalResults(t *testing.T) {
+	// Trimming is a memory optimization, never a behavioral one: results
+	// must be bit-identical with and without it.
+	c := testCircuit(t)
+	for _, algo := range []Algorithm{RowWise, Hybrid} {
+		for _, p := range []int{1, 3, 8} {
+			full, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5}})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", algo, p, err)
+			}
+			trim, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5},
+				TrimSubcircuits: true})
+			if err != nil {
+				t.Fatalf("%v p=%d trimmed: %v", algo, p, err)
+			}
+			if full.TotalTracks != trim.TotalTracks || full.Wirelength != trim.Wirelength ||
+				full.Feedthroughs != trim.Feedthroughs || len(full.Wires) != len(trim.Wires) {
+				t.Fatalf("%v p=%d: trimmed differs: %d/%d tracks, %d/%d WL",
+					algo, p, trim.TotalTracks, full.TotalTracks, trim.Wirelength, full.Wirelength)
+			}
+			for i := range full.Wires {
+				if full.Wires[i] != trim.Wires[i] {
+					t.Fatalf("%v p=%d: wire %d differs", algo, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTrimmedSubcircuitsSaveMemory(t *testing.T) {
+	c, err := gen.Benchmark("primary2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := partition.RowBlocks(c, 8)
+	full := buildSubCircuit(c, blocks[0], nil)
+	trim := buildTrimmedSubCircuit(c, blocks[0], nil)
+	if err := trim.Validate(); err != nil {
+		t.Fatalf("trimmed sub-circuit invalid: %v", err)
+	}
+	// The trimmed copy must hold roughly 1/8 of the cells and pins.
+	if len(trim.Cells)*4 > len(full.Cells) {
+		t.Fatalf("trimmed holds %d cells vs full %d — not trimmed", len(trim.Cells), len(full.Cells))
+	}
+	if len(trim.Pins)*4 > len(full.Pins) {
+		t.Fatalf("trimmed holds %d pins vs full %d", len(trim.Pins), len(full.Pins))
+	}
+	// Same per-net local pin multiset.
+	for n := range c.Nets {
+		if len(trim.Nets[n].Pins) != len(full.Nets[n].Pins) {
+			t.Fatalf("net %d: %d vs %d local pins", n, len(trim.Nets[n].Pins), len(full.Nets[n].Pins))
+		}
+		for i := range trim.Nets[n].Pins {
+			tp := trim.Pins[trim.Nets[n].Pins[i]]
+			fp := full.Pins[full.Nets[n].Pins[i]]
+			if tp.X != fp.X || tp.Row != fp.Row || tp.Side != fp.Side {
+				t.Fatalf("net %d pin %d: (%d,%d,%v) vs (%d,%d,%v)",
+					n, i, tp.X, tp.Row, tp.Side, fp.X, fp.Row, fp.Side)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"parroute/internal/circuit"
+	"parroute/internal/mp"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+// rowWiseWorker is one rank of the row-wise pin-partition algorithm (§4).
+//
+//  1. Every rank builds the Steiner trees of the nets it owns (the net
+//     partition exists only to parallelize this phase) and derives the
+//     fake-pin specs where tree segments cross partition boundaries.
+//  2. Fake pins are exchanged all-to-all; each rank assembles its
+//     sub-circuit: its rows' pins plus its boundary fake pins.
+//  3. Each rank runs the full TWGR pipeline on its sub-circuit — the pins
+//     on partition boundaries are ordinary net pins there, so boundary
+//     connections happen during normal net connection, before switchable
+//     optimization, as the paper requires.
+//  4. Before switchable optimization, the occupancy of each shared
+//     boundary channel is exchanged with the neighbor.
+//  5. Wires and counters are gathered and merged at rank 0.
+func rowWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+	owner []int, opt Options, out *runOutput) error {
+
+	rank := comm.Rank()
+	block := blocks[rank]
+	sw := newStopwatch()
+
+	// Phase 1+2: distributed Steiner trees -> fake pins -> sub-circuit.
+	specs := computeCrossings(base, blocks, owner, rank)
+	sw.lap("crossings")
+	myFakes, err := exchangeFakePins(comm, specs)
+	if err != nil {
+		return err
+	}
+	sw.reset()
+	var sub *circuit.Circuit
+	if opt.TrimSubcircuits {
+		sub = buildTrimmedSubCircuit(base, block, myFakes)
+	} else {
+		sub = buildSubCircuit(base, block, myFakes)
+	}
+	sw.lap("subcircuit")
+
+	// Phase 3: the serial pipeline on the sub-circuit.
+	ropt := opt.Route
+	ropt.Seed = workerSeed(opt.Route.Seed, rank)
+	ropt.GridWidth = base.CoreWidth()
+	rt := route.NewRouter(sub, ropt)
+	rt.BuildTrees()
+	rt.CoarseRoute()
+	rt.InsertFeedthroughs()
+	rt.AssignFeedthroughs()
+	rt.ConnectNets()
+
+	// Phase 4: boundary-channel sync, then switchable optimization with
+	// the neighbors' wires as background.
+	coreW, err := globalCoreWidth(comm, sub, block)
+	if err != nil {
+		return err
+	}
+	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+	occ.AddWires(rt.Wires)
+	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
+		return err
+	}
+	sw.reset()
+	switchable := 0
+	for i := range rt.Wires {
+		if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
+			switchable++
+		}
+	}
+	flips := route.OptimizeSwitchable(rt.Wires, occ, rt.Rand, ropt.SwitchPasses)
+	sw.lap("switch-opt")
+
+	// Phase 5: merge at rank 0.
+	sum := Summary{
+		Rank:         rank,
+		InsertedFts:  rt.InsertedFts,
+		ForcedEdges:  rt.ForcedEdges,
+		SwitchableWs: switchable,
+		SwitchFlips:  flips,
+		CoarseFlips:  rt.CoarseFlips,
+		RowWidths:    ownRowWidths(sub, block),
+		Phases:       append(sw.phases, rt.Phases()...),
+	}
+	return gatherResults(comm, rt.Wires, sum, out)
+}

@@ -1,0 +1,302 @@
+// Package partition implements the work-division policies of the paper's
+// §3–§5: contiguous row blocks (cells and their pins follow their rows),
+// and the four net-partition heuristics — center, locus, density and
+// pin-number-weight — used to spread nets (and their pins) across
+// processors while balancing pin counts.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"parroute/internal/circuit"
+	"parroute/internal/steiner"
+)
+
+// RowBlock is a contiguous range of rows owned by one worker, inclusive.
+type RowBlock struct {
+	Lo, Hi int
+}
+
+// Rows returns the number of rows in the block.
+func (b RowBlock) Rows() int { return b.Hi - b.Lo + 1 }
+
+// Contains reports whether row r falls in the block.
+func (b RowBlock) Contains(r int) bool { return r >= b.Lo && r <= b.Hi }
+
+// RowBlocks splits the circuit's rows into p contiguous blocks balanced by
+// cell count (the memory and work proxy the paper partitions by). Every
+// block is non-empty; p must not exceed the row count.
+func RowBlocks(c *circuit.Circuit, p int) ([]RowBlock, error) {
+	n := len(c.Rows)
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	if p > n {
+		return nil, fmt.Errorf("partition: %d workers for %d rows", p, n)
+	}
+	total := 0
+	perRow := make([]int, n)
+	for r := 0; r < n; r++ {
+		perRow[r] = len(c.Rows[r].Cells)
+		total += perRow[r]
+	}
+	blocks := make([]RowBlock, 0, p)
+	row := 0
+	acc := 0
+	for k := 0; k < p; k++ {
+		lo := row
+		// Leave enough rows for the remaining blocks.
+		remainingBlocks := p - k - 1
+		target := (total - acc) / (p - k)
+		sum := 0
+		for row < n-remainingBlocks {
+			sum += perRow[row]
+			row++
+			if sum >= target && row > lo {
+				break
+			}
+		}
+		// Guarantee at least one row.
+		if row == lo {
+			row++
+			sum = perRow[lo]
+		}
+		acc += sum
+		blocks = append(blocks, RowBlock{Lo: lo, Hi: row - 1})
+	}
+	blocks[p-1].Hi = n - 1
+	return blocks, nil
+}
+
+// BlockOf returns the index of the block containing row r, or -1.
+func BlockOf(blocks []RowBlock, r int) int {
+	for k, b := range blocks {
+		if b.Contains(r) {
+			return k
+		}
+	}
+	return -1
+}
+
+// Method selects a net-partition heuristic (paper §5).
+type Method int
+
+const (
+	// Center weights a net by the y coordinate of its pin centroid, so
+	// vertically close nets — which compete for the same channels — land
+	// on the same processor.
+	Center Method = iota
+	// Locus clusters geometrically related nets by the lower-left corner
+	// of their bounding box (y major, x as tie-break), after LocusRoute.
+	Locus
+	// Density weights a net by the row block holding most of its pins, so
+	// nets land with the processor that owns their rows.
+	Density
+	// PinWeight weights a net by -(pins^alpha): the large nets are
+	// scheduled first (Steiner-tree construction is the dominant cost and
+	// superlinear in pin count) and round-robined across processors so no
+	// single processor gets all the clock nets.
+	PinWeight
+)
+
+func (m Method) String() string {
+	switch m {
+	case Center:
+		return "center"
+	case Locus:
+		return "locus"
+	case Density:
+		return "density"
+	case PinWeight:
+		return "pinweight"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all heuristics, for sweeps and ablations.
+func Methods() []Method { return []Method{Center, Locus, Density, PinWeight} }
+
+// Config tunes a net partition.
+type Config struct {
+	Method Method
+	// Alpha is the pin-count exponent of PinWeight. Default 1.5.
+	Alpha float64
+	// LargeFactor defines "large" nets for PinWeight's round-robin: a net
+	// is large if its pin count exceeds LargeFactor times the average.
+	// Default 8.
+	LargeFactor float64
+}
+
+func (cfg *Config) normalize() {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1.5
+	}
+	if cfg.LargeFactor <= 0 {
+		cfg.LargeFactor = 8
+	}
+}
+
+// Nets assigns every net an owner in [0, p) using the configured
+// heuristic. blocks is only consulted by the Density method (it may be nil
+// for the others). The paper's generic scheme: sort nets by weight, then
+// fill processors in that order until each holds its share of the total
+// pin count.
+func Nets(c *circuit.Circuit, blocks []RowBlock, p int, cfg Config) ([]int, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	cfg.normalize()
+	n := len(c.Nets)
+	owner := make([]int, n)
+	if p == 1 || n == 0 {
+		return owner, nil
+	}
+	if cfg.Method == Density && len(blocks) != p {
+		return nil, fmt.Errorf("partition: density method needs %d row blocks, got %d", p, len(blocks))
+	}
+
+	type entry struct {
+		net    int
+		weight float64
+		pins   int
+	}
+	entries := make([]entry, 0, n)
+	totalPins := 0
+	for i := range c.Nets {
+		pins := len(c.Nets[i].Pins)
+		totalPins += pins
+		entries = append(entries, entry{net: i, weight: weight(c, i, blocks, cfg), pins: pins})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].weight != entries[b].weight {
+			return entries[a].weight < entries[b].weight
+		}
+		return entries[a].net < entries[b].net
+	})
+
+	loads := make([]int, p)
+	target := float64(totalPins) / float64(p)
+
+	start := 0
+	if cfg.Method == PinWeight {
+		// Large nets first (they sort first: most negative weight), in
+		// round-robin so each processor gets its share of the giants.
+		avg := float64(totalPins) / float64(n)
+		rr := 0
+		for start < len(entries) && float64(entries[start].pins) > cfg.LargeFactor*avg {
+			owner[entries[start].net] = rr % p
+			loads[rr%p] += entries[start].pins
+			rr++
+			start++
+		}
+	}
+
+	// Fill processors in weight order until each reaches the average pin
+	// count; the last processor absorbs the remainder.
+	k := 0
+	for _, e := range entries[start:] {
+		for k < p-1 && float64(loads[k]) >= target {
+			k++
+		}
+		owner[e.net] = k
+		loads[k] += e.pins
+	}
+	return owner, nil
+}
+
+func weight(c *circuit.Circuit, net int, blocks []RowBlock, cfg Config) float64 {
+	pins := c.Nets[net].Pins
+	if len(pins) == 0 {
+		return 0
+	}
+	switch cfg.Method {
+	case Center:
+		sum := 0
+		for _, pid := range pins {
+			sum += c.Pins[pid].Row
+		}
+		return float64(sum) / float64(len(pins))
+	case Locus:
+		bb := c.NetBBox(net)
+		return float64(bb.MinY)*float64(c.CoreWidth()+1) + float64(bb.MinX)
+	case Density:
+		counts := make([]int, len(blocks))
+		for _, pid := range pins {
+			if k := BlockOf(blocks, c.Pins[pid].Row); k >= 0 {
+				counts[k]++
+			}
+		}
+		best, bestCount := 0, -1
+		for k, cnt := range counts {
+			if cnt > bestCount {
+				best, bestCount = k, cnt
+			}
+		}
+		return float64(best)
+	case PinWeight:
+		return -math.Pow(float64(len(pins)), cfg.Alpha)
+	}
+	return 0
+}
+
+// LoadStats summarizes the balance of a net partition: pins per processor,
+// and the imbalance ratio max/avg (1.0 is perfect).
+type LoadStats struct {
+	Pins      []int
+	Imbalance float64
+}
+
+// Load computes LoadStats for an owner assignment.
+func Load(c *circuit.Circuit, owner []int, p int) LoadStats {
+	st := LoadStats{Pins: make([]int, p)}
+	total := 0
+	for net, o := range owner {
+		st.Pins[o] += len(c.Nets[net].Pins)
+		total += len(c.Nets[net].Pins)
+	}
+	if total == 0 {
+		st.Imbalance = 1
+		return st
+	}
+	max := 0
+	for _, v := range st.Pins {
+		if v > max {
+			max = v
+		}
+	}
+	st.Imbalance = float64(max) * float64(p) / float64(total)
+	return st
+}
+
+// SteinerLoad computes the balance of the Steiner-tree construction cost,
+// the quantity PinWeight is designed to balance. The cost model matches
+// the implementation: d^2 for the exact Prim MST, d*log2(d) for nets above
+// steiner.LargeNetThreshold (the row-chain fast path).
+func SteinerLoad(c *circuit.Circuit, owner []int, p int) LoadStats {
+	st := LoadStats{Pins: make([]int, p)}
+	total := 0
+	for net, o := range owner {
+		d := len(c.Nets[net].Pins)
+		cost := d * d
+		if d > steiner.LargeNetThreshold {
+			cost = d * bits.Len(uint(d))
+		}
+		st.Pins[o] += cost
+		total += cost
+	}
+	if total == 0 {
+		st.Imbalance = 1
+		return st
+	}
+	max := 0
+	for _, v := range st.Pins {
+		if v > max {
+			max = v
+		}
+	}
+	st.Imbalance = float64(max) * float64(p) / float64(total)
+	return st
+}

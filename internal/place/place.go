@@ -1,0 +1,276 @@
+// Package place implements a simulated-annealing standard-cell placer in
+// the TimberWolfSC tradition. The paper routes circuits that TimberWolfSC
+// placed; this package closes that dependency: it takes a netlist whose
+// cells are in arbitrary positions and anneals cell swaps until nets are
+// geometrically local, producing exactly the kind of placement the global
+// router expects (and that internal/gen otherwise synthesizes directly).
+//
+// The cost function is the classic total half-perimeter wirelength with
+// rows weighted like the router's Steiner metric (crossing a row costs a
+// feedthrough, so vertical spread is dearer than horizontal). Moves are
+// pairwise cell swaps — within a row or across rows — with exact
+// incremental cost evaluation: only the nets touching cells whose
+// positions changed are re-measured.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/rng"
+	"parroute/internal/steiner"
+)
+
+// Options tunes the annealer. Zero values take defaults.
+type Options struct {
+	Seed uint64
+	// MovesPerCell scales the schedule length: total moves =
+	// MovesPerCell * number of cells per temperature step. Default 8.
+	MovesPerCell int
+	// Steps is the number of temperature steps. Default 24.
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in cost
+	// units. Defaults 0 mean they are derived from the circuit (start at
+	// the scale of an average net's wirelength, end near 1).
+	StartTemp, EndTemp float64
+}
+
+func (o *Options) normalize(c *circuit.Circuit) {
+	if o.MovesPerCell <= 0 {
+		o.MovesPerCell = 8
+	}
+	if o.Steps <= 0 {
+		o.Steps = 24
+	}
+	if o.StartTemp <= 0 {
+		nets := len(c.Nets)
+		if nets == 0 {
+			nets = 1
+		}
+		o.StartTemp = float64(totalHPWL(c)) / float64(nets)
+		if o.StartTemp < 4 {
+			o.StartTemp = 4
+		}
+	}
+	if o.EndTemp <= 0 {
+		o.EndTemp = 1
+	}
+	if o.EndTemp >= o.StartTemp {
+		o.EndTemp = o.StartTemp / 16
+	}
+}
+
+// Result reports an annealing run.
+type Result struct {
+	InitialHPWL int64
+	FinalHPWL   int64
+	Moves       int
+	Accepted    int
+}
+
+// hpwlNet measures one net: half-perimeter with the router's vertical
+// weighting.
+func hpwlNet(c *circuit.Circuit, n int) int64 {
+	pins := c.Nets[n].Pins
+	if len(pins) < 2 {
+		return 0
+	}
+	p0 := &c.Pins[pins[0]]
+	minX, maxX, minR, maxR := p0.X, p0.X, p0.Row, p0.Row
+	for _, pid := range pins[1:] {
+		p := &c.Pins[pid]
+		minX = geom.Min(minX, p.X)
+		maxX = geom.Max(maxX, p.X)
+		minR = geom.Min(minR, p.Row)
+		maxR = geom.Max(maxR, p.Row)
+	}
+	return int64(maxX-minX) + steiner.VerticalCost*int64(maxR-minR)
+}
+
+// totalHPWL sums the weighted half-perimeters of all nets.
+func totalHPWL(c *circuit.Circuit) int64 {
+	var total int64
+	for n := range c.Nets {
+		total += hpwlNet(c, n)
+	}
+	return total
+}
+
+// TotalHPWL is the exported cost of a placement: the quantity Anneal
+// minimizes.
+func TotalHPWL(c *circuit.Circuit) int64 { return totalHPWL(c) }
+
+// Anneal improves the placement of c in place and returns run statistics.
+// The circuit must contain no feedthrough cells or fake pins (place before
+// routing). Deterministic in Options.Seed.
+func Anneal(c *circuit.Circuit, opt Options) (*Result, error) {
+	for i := range c.Cells {
+		if c.Cells[i].Feed {
+			return nil, fmt.Errorf("place: circuit already routed (feedthrough cell %d)", i)
+		}
+	}
+	for i := range c.Pins {
+		if c.Pins[i].Fake {
+			return nil, fmt.Errorf("place: circuit carries fake pin %d", i)
+		}
+	}
+	if len(c.Cells) < 2 {
+		return &Result{InitialHPWL: totalHPWL(c), FinalHPWL: totalHPWL(c)}, nil
+	}
+	opt.normalize(c)
+	r := rng.New(opt.Seed)
+
+	res := &Result{InitialHPWL: totalHPWL(c)}
+	cost := res.InitialHPWL
+
+	// slotOf[cellID] = index within its row's cell list.
+	slotOf := make([]int, len(c.Cells))
+	for row := range c.Rows {
+		for i, cid := range c.Rows[row].Cells {
+			slotOf[cid] = i
+		}
+	}
+
+	temp := opt.StartTemp
+	cool := math.Pow(opt.EndTemp/opt.StartTemp, 1/float64(opt.Steps-1))
+	movesPerStep := opt.MovesPerCell * len(c.Cells)
+
+	for step := 0; step < opt.Steps; step++ {
+		for m := 0; m < movesPerStep; m++ {
+			a := r.Intn(len(c.Cells))
+			b := r.Intn(len(c.Cells))
+			if a == b {
+				continue
+			}
+			res.Moves++
+			delta := trySwap(c, slotOf, a, b)
+			if delta <= 0 || r.Float64() < math.Exp(-float64(delta)/temp) {
+				cost += delta
+				res.Accepted++
+			} else {
+				// Undo: swapping back restores everything exactly, so the
+				// tracked cost is untouched.
+				trySwap(c, slotOf, a, b)
+			}
+		}
+		temp *= cool
+	}
+	res.FinalHPWL = cost
+	return res, nil
+}
+
+// trySwap exchanges the row slots of cells a and b, repacks the affected
+// rows, refreshes the moved pins, and returns the exact cost delta of the
+// affected nets. Calling it again with the same arguments undoes the swap.
+func trySwap(c *circuit.Circuit, slotOf []int, a, b int) int64 {
+	rowA, rowB := c.Cells[a].Row, c.Cells[b].Row
+	// Nets whose cost can change: those with pins on cells whose x will
+	// shift — every cell at or right of the leftmost affected slot in the
+	// two rows. Collect them before moving.
+	affected := affectedNets(c, slotOf, a, b)
+	var before int64
+	for _, n := range affected {
+		before += hpwlNet(c, n)
+	}
+
+	sa, sb := slotOf[a], slotOf[b]
+	if rowA == rowB {
+		row := &c.Rows[rowA]
+		row.Cells[sa], row.Cells[sb] = row.Cells[sb], row.Cells[sa]
+		slotOf[a], slotOf[b] = sb, sa
+		repackRow(c, rowA, geom.Min(sa, sb))
+	} else {
+		c.Rows[rowA].Cells[sa] = b
+		c.Rows[rowB].Cells[sb] = a
+		c.Cells[a].Row, c.Cells[b].Row = rowB, rowA
+		slotOf[a], slotOf[b] = sb, sa
+		for _, pid := range c.Cells[a].Pins {
+			c.Pins[pid].Row = rowB
+		}
+		for _, pid := range c.Cells[b].Pins {
+			c.Pins[pid].Row = rowA
+		}
+		repackRow(c, rowA, sa)
+		repackRow(c, rowB, sb)
+	}
+
+	var after int64
+	for _, n := range affected {
+		after += hpwlNet(c, n)
+	}
+	return after - before
+}
+
+// affectedNets lists the nets with a pin on any cell whose x coordinate
+// the swap of a and b can change: cells from the swap slots rightward in
+// the affected rows (positions left of the slots never move).
+func affectedNets(c *circuit.Circuit, slotOf []int, a, b int) []int {
+	seen := make(map[int]struct{})
+	var nets []int
+	collect := func(row, fromSlot int) {
+		cells := c.Rows[row].Cells
+		for _, cid := range cells[fromSlot:] {
+			for _, pid := range c.Cells[cid].Pins {
+				n := c.Pins[pid].Net
+				if n == circuit.NoNet {
+					continue
+				}
+				if _, ok := seen[n]; !ok {
+					seen[n] = struct{}{}
+					nets = append(nets, n)
+				}
+			}
+		}
+	}
+	rowA, rowB := c.Cells[a].Row, c.Cells[b].Row
+	sa, sb := slotOf[a], slotOf[b]
+	if rowA == rowB {
+		collect(rowA, geom.Min(sa, sb))
+	} else {
+		collect(rowA, sa)
+		collect(rowB, sb)
+	}
+	return nets
+}
+
+// repackRow rebuilds the x positions of row cells from slot `from`
+// rightward (everything left of it is unchanged) and refreshes their pins.
+func repackRow(c *circuit.Circuit, row, from int) {
+	cells := c.Rows[row].Cells
+	x := 0
+	if from > 0 {
+		prev := &c.Cells[cells[from-1]]
+		x = prev.X + prev.Width
+	}
+	for _, cid := range cells[from:] {
+		cell := &c.Cells[cid]
+		cell.X = x
+		for _, pid := range cell.Pins {
+			c.Pins[pid].X = x + c.Pins[pid].Offset
+		}
+		x += cell.Width
+	}
+}
+
+// Scramble destroys a placement's locality by performing the given number
+// of random cell swaps without regard to cost — the adversarial starting
+// point for Anneal (and the stand-in for an unplaced netlist).
+func Scramble(c *circuit.Circuit, seed uint64, swaps int) {
+	r := rng.New(seed)
+	slotOf := make([]int, len(c.Cells))
+	for row := range c.Rows {
+		for i, cid := range c.Rows[row].Cells {
+			slotOf[cid] = i
+		}
+	}
+	for i := 0; i < swaps; i++ {
+		a := r.Intn(len(c.Cells))
+		b := r.Intn(len(c.Cells))
+		if a == b {
+			continue
+		}
+		trySwap(c, slotOf, a, b)
+	}
+}

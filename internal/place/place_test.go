@@ -1,0 +1,171 @@
+package place
+
+import (
+	"testing"
+
+	"parroute/internal/circuit"
+	"parroute/internal/gen"
+	"parroute/internal/rng"
+)
+
+func TestScrambleKeepsCircuitValid(t *testing.T) {
+	c := gen.Tiny(1)
+	before := TotalHPWL(c)
+	Scramble(c, 3, 500)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("scrambled circuit invalid: %v", err)
+	}
+	after := TotalHPWL(c)
+	if after <= before {
+		t.Fatalf("scrambling should destroy locality: HPWL %d -> %d", before, after)
+	}
+}
+
+func TestTrySwapIsExactAndInvertible(t *testing.T) {
+	c := gen.Tiny(2)
+	slotOf := make([]int, len(c.Cells))
+	for row := range c.Rows {
+		for i, cid := range c.Rows[row].Cells {
+			slotOf[cid] = i
+		}
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 300; trial++ {
+		a, b := r.Intn(len(c.Cells)), r.Intn(len(c.Cells))
+		if a == b {
+			continue
+		}
+		before := TotalHPWL(c)
+		delta := trySwap(c, slotOf, a, b)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid after swap: %v", trial, err)
+		}
+		// The reported delta must equal the true global delta.
+		if got := TotalHPWL(c) - before; got != delta {
+			t.Fatalf("trial %d: reported delta %d, true delta %d", trial, delta, got)
+		}
+		// Undo restores the exact cost.
+		back := trySwap(c, slotOf, a, b)
+		if back != -delta {
+			t.Fatalf("trial %d: undo delta %d, want %d", trial, back, -delta)
+		}
+		if TotalHPWL(c) != before {
+			t.Fatalf("trial %d: undo did not restore cost", trial)
+		}
+	}
+}
+
+func TestAnnealRecoversLocality(t *testing.T) {
+	// Scramble a well-placed circuit, then anneal: the placer must win
+	// back most of the destroyed wirelength.
+	c := gen.Tiny(5)
+	placed := TotalHPWL(c)
+	Scramble(c, 7, 2000)
+	scrambled := TotalHPWL(c)
+	if scrambled < 2*placed {
+		t.Fatalf("scramble too weak: %d -> %d", placed, scrambled)
+	}
+	res, err := Anneal(c, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("annealed circuit invalid: %v", err)
+	}
+	if res.InitialHPWL != scrambled {
+		t.Fatalf("initial HPWL %d, want %d", res.InitialHPWL, scrambled)
+	}
+	if res.FinalHPWL != TotalHPWL(c) {
+		t.Fatalf("tracked cost %d diverged from true cost %d", res.FinalHPWL, TotalHPWL(c))
+	}
+	// Recover at least 60% of the damage.
+	recovered := float64(scrambled-res.FinalHPWL) / float64(scrambled-placed)
+	if recovered < 0.6 {
+		t.Fatalf("recovered only %.0f%% of the scrambled wirelength (placed %d, scrambled %d, annealed %d)",
+			100*recovered, placed, scrambled, res.FinalHPWL)
+	}
+	if res.Accepted == 0 || res.Moves == 0 {
+		t.Fatal("no moves recorded")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	a := gen.Tiny(5)
+	b := gen.Tiny(5)
+	Scramble(a, 7, 500)
+	Scramble(b, 7, 500)
+	ra, err := Anneal(a, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Anneal(b, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.FinalHPWL != rb.FinalHPWL || ra.Accepted != rb.Accepted {
+		t.Fatalf("same seed diverged: %+v vs %+v", ra, rb)
+	}
+	for i := range a.Cells {
+		if a.Cells[i].X != b.Cells[i].X || a.Cells[i].Row != b.Cells[i].Row {
+			t.Fatalf("cell %d placed differently", i)
+		}
+	}
+}
+
+func TestAnnealRejectsRoutedCircuits(t *testing.T) {
+	c := gen.Tiny(1)
+	c.InsertFeedthrough(0, 5, circuit.NoNet)
+	if _, err := Anneal(c, Options{Seed: 1}); err == nil {
+		t.Fatal("circuit with feedthroughs accepted")
+	}
+	c2 := gen.Tiny(1)
+	c2.AddFakePin(0, 3, 0, circuit.Top)
+	if _, err := Anneal(c2, Options{Seed: 1}); err == nil {
+		t.Fatal("circuit with fake pins accepted")
+	}
+}
+
+func TestAnnealDegenerate(t *testing.T) {
+	c := &circuit.Circuit{Name: "one", CellHeight: 10, FeedWidth: 2}
+	c.AddRow()
+	c.AddCell(0, 5)
+	res, err := Anneal(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialHPWL != res.FinalHPWL {
+		t.Fatal("single-cell circuit should be a no-op")
+	}
+}
+
+func TestHPWLNet(t *testing.T) {
+	c := &circuit.Circuit{Name: "h", CellHeight: 10, FeedWidth: 2}
+	c.AddRow()
+	c.AddRow()
+	c.AddCell(0, 100)
+	c.AddCell(1, 100)
+	n := c.AddNet("n")
+	c.AddPin(0, n, 10, circuit.Bottom) // (10, row 0)
+	c.AddPin(1, n, 40, circuit.Top)    // (40, row 1)
+	want := int64(30) + 16             // dx + VerticalCost*drow
+	if got := hpwlNet(c, n); got != want {
+		t.Fatalf("hpwl = %d, want %d", got, want)
+	}
+	single := c.AddNet("s")
+	c.AddPin(0, single, 5, circuit.Bottom)
+	if hpwlNet(c, single) != 0 {
+		t.Fatal("single-pin net should cost 0")
+	}
+}
+
+func BenchmarkAnneal(b *testing.B) {
+	base := gen.Tiny(5)
+	Scramble(base, 7, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		if _, err := Anneal(c, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

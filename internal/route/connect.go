@@ -1,0 +1,238 @@
+package route
+
+import (
+	"sort"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/metrics"
+)
+
+// Node is a connection point of a net during step 4: a regular pin, an
+// assigned feedthrough pin, or (in the parallel algorithms) a fake
+// boundary pin. Nodes are self-contained so they can be shipped between
+// workers without the circuit.
+type Node struct {
+	X    int
+	Row  int
+	Side circuit.Side
+	Pin  int // originating pin ID, for diagnostics; -1 when remote
+}
+
+// Channels returns the routing channels the node touches.
+func (n Node) Channels() (lo, hi int, both bool) {
+	switch n.Side {
+	case circuit.Bottom:
+		return n.Row, n.Row, false
+	case circuit.Top:
+		return n.Row + 1, n.Row + 1, false
+	default:
+		return n.Row, n.Row + 1, true
+	}
+}
+
+// adjacent reports whether two nodes share a channel, and returns the
+// shared channels. When both is true the pair shares two channels (both
+// nodes are side-Both in the same row) and the connection is switchable.
+func adjacent(a, b Node) (ch int, both bool, ok bool) {
+	alo, ahi, aboth := a.Channels()
+	blo, bhi, bboth := b.Channels()
+	lo := geom.Max(alo, blo)
+	hi := geom.Min(ahi, bhi)
+	if lo > hi {
+		return 0, false, false
+	}
+	if lo < hi && aboth && bboth {
+		return lo, true, true
+	}
+	return lo, false, true
+}
+
+// Connection is one step-4 tree edge between two nodes of a net.
+type Connection struct {
+	Net  int
+	U, V int // indices into the net's node list
+	// Channel is the channel the connection currently occupies. For
+	// switchable connections Row records the cell row between the two
+	// candidate channels Row and Row+1.
+	Channel    int
+	Switchable bool
+	Row        int
+	Forced     bool // true when no shared channel existed (fallback edge)
+}
+
+// Wire converts the connection to its metrics representation, including
+// the endpoint anchors the detailed channel router needs.
+func (c *Connection) Wire(nodes []Node) metrics.Wire {
+	u, v := nodes[c.U], nodes[c.V]
+	return metrics.Wire{
+		Net:        c.Net,
+		Channel:    c.Channel,
+		Span:       connSpan(u.X, v.X),
+		Switchable: c.Switchable,
+		Row:        c.Row,
+		AX:         u.X, ARow: u.Row,
+		BX: v.X, BRow: v.Row,
+	}
+}
+
+// connSpan is the track-occupying extent between two x positions; a
+// zero-length connection occupies no track.
+func connSpan(a, b int) geom.Interval {
+	if a == b {
+		return geom.Interval{Lo: 1, Hi: 0}
+	}
+	return geom.NewInterval(a, b)
+}
+
+// ConnectNodes performs TWGR step 4 for one net: a minimum spanning tree
+// over the complete graph of the net's nodes, where only nodes in adjacent
+// rows (sharing a channel) are connectable at cost |dx|. It returns the
+// tree edges and the number of forced (non-adjacent) edges, which is zero
+// whenever feedthrough assignment covered every row gap.
+//
+// The MST is computed exactly without materializing the complete graph:
+// within one channel the |dx| metric is one-dimensional, so some MST uses
+// only consecutive-by-x pairs; Kruskal over those candidates (O(n log n))
+// replaces the O(n^2) Prim, which matters for multi-thousand-pin clock
+// nets. Disconnected adjacency components (which a correct feedthrough
+// assignment never produces) are chained with Forced edges so every net
+// stays electrically complete.
+// occ, when non-nil, is the live channel occupancy the caller streams its
+// nets through: switchable connections pick the cheaper of their two
+// candidate channels against it, and every produced wire is added to it.
+// A nil occ places switchable connections in their lower channel.
+func ConnectNodes(netID int, nodes []Node, occ *Occupancy) (conns []Connection, forced int) {
+	if len(nodes) < 2 {
+		return nil, 0
+	}
+
+	// Bucket node indices by the channels they touch.
+	buckets := make(map[int][]int)
+	for i := range nodes {
+		lo, hi, _ := nodes[i].Channels()
+		buckets[lo] = append(buckets[lo], i)
+		if hi != lo {
+			buckets[hi] = append(buckets[hi], i)
+		}
+	}
+	type cand struct {
+		w    int64
+		u, v int
+	}
+	var cands []cand
+	chs := make([]int, 0, len(buckets))
+	for ch := range buckets {
+		chs = append(chs, ch)
+	}
+	sort.Ints(chs)
+	for _, ch := range chs {
+		b := buckets[ch]
+		sort.Slice(b, func(i, j int) bool {
+			if nodes[b[i]].X != nodes[b[j]].X {
+				return nodes[b[i]].X < nodes[b[j]].X
+			}
+			return b[i] < b[j]
+		})
+		for i := 1; i < len(b); i++ {
+			u, v := b[i-1], b[i]
+			cands = append(cands, cand{w: int64(geom.Abs(nodes[u].X - nodes[v].X)), u: u, v: v})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w < cands[j].w
+		}
+		if cands[i].u != cands[j].u {
+			return cands[i].u < cands[j].u
+		}
+		return cands[i].v < cands[j].v
+	})
+
+	uf := newUnionFind(len(nodes))
+	conns = make([]Connection, 0, len(nodes)-1)
+	for _, e := range cands {
+		if !uf.union(e.u, e.v) {
+			continue
+		}
+		u, v := nodes[e.u], nodes[e.v]
+		conn := Connection{Net: netID, U: e.u, V: e.v}
+		ch, both, _ := adjacent(u, v)
+		conn.Channel = ch
+		if both {
+			conn.Switchable = true
+			conn.Row = ch // candidate channels ch and ch+1
+			if occ != nil {
+				span := connSpan(u.X, v.X)
+				if occ.AddCost(ch+1, span) < occ.AddCost(ch, span) {
+					conn.Channel = ch + 1
+				}
+			}
+		}
+		if occ != nil {
+			occ.Add(conn.Channel, connSpan(u.X, v.X), 1)
+		}
+		conns = append(conns, conn)
+	}
+
+	// Chain any remaining components (deterministically, lowest indices
+	// first) with forced edges.
+	if len(conns) < len(nodes)-1 {
+		prev := -1
+		for i := range nodes {
+			if uf.find(i) != i {
+				continue
+			}
+			if prev >= 0 {
+				uf.union(prev, i)
+				u, v := nodes[prev], nodes[i]
+				conn := Connection{
+					Net: netID, U: prev, V: i, Forced: true,
+					Channel: geom.Min(u.Row, v.Row) + 1,
+				}
+				if occ != nil {
+					occ.Add(conn.Channel, connSpan(u.X, v.X), 1)
+				}
+				conns = append(conns, conn)
+				forced++
+			}
+			prev = i
+		}
+	}
+	return conns, forced
+}
+
+// unionFind is a plain disjoint-set structure with path halving.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, returning false if already joined.
+// The smaller root index wins, keeping results order-independent.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	return true
+}

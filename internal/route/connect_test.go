@@ -1,0 +1,257 @@
+package route
+
+import (
+	"testing"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/mst"
+	"parroute/internal/rng"
+)
+
+func TestAdjacent(t *testing.T) {
+	n := func(row int, side circuit.Side) Node { return Node{Row: row, Side: side} }
+	cases := []struct {
+		a, b     Node
+		wantOK   bool
+		wantCh   int
+		wantBoth bool
+	}{
+		{n(2, circuit.Bottom), n(2, circuit.Bottom), true, 2, false},
+		{n(2, circuit.Bottom), n(2, circuit.Top), false, 0, false},
+		{n(2, circuit.Top), n(3, circuit.Bottom), true, 3, false},
+		{n(2, circuit.Both), n(2, circuit.Both), true, 2, true},
+		{n(2, circuit.Both), n(2, circuit.Bottom), true, 2, false},
+		{n(2, circuit.Both), n(3, circuit.Both), true, 3, false},
+		{n(2, circuit.Bottom), n(4, circuit.Bottom), false, 0, false},
+		{n(2, circuit.Both), n(3, circuit.Top), false, 0, false},
+	}
+	for i, tc := range cases {
+		ch, both, ok := adjacent(tc.a, tc.b)
+		if ok != tc.wantOK || (ok && (ch != tc.wantCh || both != tc.wantBoth)) {
+			t.Errorf("case %d: adjacent = (%d, %v, %v), want (%d, %v, %v)",
+				i, ch, both, ok, tc.wantCh, tc.wantBoth, tc.wantOK)
+		}
+		// Symmetry.
+		ch2, both2, ok2 := adjacent(tc.b, tc.a)
+		if ch2 != ch || both2 != both || ok2 != ok {
+			t.Errorf("case %d: adjacent not symmetric", i)
+		}
+	}
+}
+
+func TestConnectNodesTrivial(t *testing.T) {
+	if conns, forced := ConnectNodes(0, nil, nil); conns != nil || forced != 0 {
+		t.Fatal("empty node list")
+	}
+	one := []Node{{X: 5, Row: 1, Side: circuit.Bottom}}
+	if conns, _ := ConnectNodes(0, one, nil); conns != nil {
+		t.Fatal("single node should produce no connections")
+	}
+}
+
+func TestConnectNodesChain(t *testing.T) {
+	// Pins in channel 2 at x = 0, 10, 30: tree must be the consecutive
+	// chain with total span 30.
+	nodes := []Node{
+		{X: 30, Row: 2, Side: circuit.Bottom},
+		{X: 0, Row: 2, Side: circuit.Bottom},
+		{X: 10, Row: 2, Side: circuit.Bottom},
+	}
+	conns, forced := ConnectNodes(7, nodes, nil)
+	if forced != 0 || len(conns) != 2 {
+		t.Fatalf("conns=%d forced=%d", len(conns), forced)
+	}
+	var total int64
+	for _, c := range conns {
+		if c.Net != 7 {
+			t.Fatalf("net = %d", c.Net)
+		}
+		total += int64(geom.Abs(nodes[c.U].X - nodes[c.V].X))
+	}
+	if total != 30 {
+		t.Fatalf("total span = %d, want 30", total)
+	}
+}
+
+func TestConnectNodesFeedthroughChain(t *testing.T) {
+	// A pin in channel 1, feedthroughs in rows 1..3, a pin in channel 4:
+	// the chain through the feedthroughs connects them without forcing.
+	nodes := []Node{
+		{X: 100, Row: 1, Side: circuit.Bottom}, // channel 1
+		{X: 100, Row: 1, Side: circuit.Both},   // ft row 1: {1,2}
+		{X: 100, Row: 2, Side: circuit.Both},   // ft row 2: {2,3}
+		{X: 100, Row: 3, Side: circuit.Both},   // ft row 3: {3,4}
+		{X: 250, Row: 4, Side: circuit.Bottom}, // channel 4
+	}
+	conns, forced := ConnectNodes(0, nodes, nil)
+	if forced != 0 {
+		t.Fatalf("forced = %d", forced)
+	}
+	if len(conns) != 4 {
+		t.Fatalf("%d connections", len(conns))
+	}
+	// Exactly one wire should have nonzero extent (the 150-unit hop).
+	long := 0
+	for _, c := range conns {
+		w := c.Wire(nodes)
+		if w.Span.Len() > 1 {
+			long++
+			if w.Span != geom.NewInterval(100, 250) {
+				t.Fatalf("long wire span %v", w.Span)
+			}
+		}
+	}
+	if long != 1 {
+		t.Fatalf("%d long wires, want 1", long)
+	}
+}
+
+func TestConnectNodesForcedFallback(t *testing.T) {
+	// Two pins with a row gap and no feedthroughs: must connect anyway,
+	// flagged as forced.
+	nodes := []Node{
+		{X: 0, Row: 0, Side: circuit.Bottom},
+		{X: 0, Row: 5, Side: circuit.Bottom},
+	}
+	conns, forced := ConnectNodes(0, nodes, nil)
+	if forced != 1 || len(conns) != 1 || !conns[0].Forced {
+		t.Fatalf("conns=%+v forced=%d", conns, forced)
+	}
+}
+
+func TestConnectNodesSwitchableDetection(t *testing.T) {
+	nodes := []Node{
+		{X: 0, Row: 2, Side: circuit.Both},
+		{X: 40, Row: 2, Side: circuit.Both},
+		{X: 80, Row: 2, Side: circuit.Bottom},
+	}
+	conns, _ := ConnectNodes(0, nodes, nil)
+	sw, fixed := 0, 0
+	for _, c := range conns {
+		if c.Switchable {
+			sw++
+			if c.Row != 2 {
+				t.Fatalf("switchable row = %d", c.Row)
+			}
+		} else {
+			fixed++
+			if c.Channel != 2 {
+				t.Fatalf("fixed connection in channel %d", c.Channel)
+			}
+		}
+	}
+	if sw != 1 || fixed != 1 {
+		t.Fatalf("sw=%d fixed=%d", sw, fixed)
+	}
+}
+
+func TestConnectNodesGreedyChannelChoice(t *testing.T) {
+	// With a congested lower channel, the switchable connection must pick
+	// the upper one.
+	occ := NewOccupancy(5, 200, 16)
+	occ.Add(2, geom.NewInterval(0, 199), 5) // channel 2 busy
+	nodes := []Node{
+		{X: 0, Row: 2, Side: circuit.Both},
+		{X: 100, Row: 2, Side: circuit.Both},
+	}
+	conns, _ := ConnectNodes(0, nodes, occ)
+	if len(conns) != 1 || !conns[0].Switchable {
+		t.Fatalf("conns = %+v", conns)
+	}
+	if conns[0].Channel != 3 {
+		t.Fatalf("picked channel %d, want the empty 3", conns[0].Channel)
+	}
+	// And the wire was recorded in the occupancy.
+	if occ.At(3, 0) != 1 {
+		t.Fatal("wire not streamed into occupancy")
+	}
+}
+
+func TestConnectNodesMatchesPrimCost(t *testing.T) {
+	// The sparse Kruskal must produce trees of the same total cost as the
+	// O(n^2) Prim on the same adjacency-restricted metric.
+	r := rng.New(17)
+	sides := []circuit.Side{circuit.Bottom, circuit.Top, circuit.Both}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(30)
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = Node{X: r.Intn(500), Row: r.Intn(6), Side: sides[r.Intn(3)]}
+		}
+		cost := func(i, j int) int64 {
+			if _, _, ok := adjacent(nodes[i], nodes[j]); ok {
+				return int64(geom.Abs(nodes[i].X - nodes[j].X))
+			}
+			return mst.Infinite
+		}
+		edges, primForced := mst.Prim(n, cost)
+		conns, kruskalForced := ConnectNodes(0, nodes, nil)
+		if (primForced > 0) != (kruskalForced > 0) {
+			t.Fatalf("trial %d: forced disagreement (prim %d, kruskal %d)",
+				trial, primForced, kruskalForced)
+		}
+		if primForced > 0 {
+			continue // costs incomparable once forced edges differ
+		}
+		var primCost, kruskalCost int64
+		for _, e := range edges {
+			primCost += cost(e.U, e.V)
+		}
+		for _, c := range conns {
+			kruskalCost += int64(geom.Abs(nodes[c.U].X - nodes[c.V].X))
+		}
+		if primCost != kruskalCost {
+			t.Fatalf("trial %d: kruskal cost %d != prim cost %d", trial, kruskalCost, primCost)
+		}
+	}
+}
+
+func TestConnectNodesSpansEverything(t *testing.T) {
+	r := rng.New(23)
+	sides := []circuit.Side{circuit.Bottom, circuit.Top, circuit.Both}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(50)
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = Node{X: r.Intn(500), Row: r.Intn(8), Side: sides[r.Intn(3)]}
+		}
+		conns, _ := ConnectNodes(0, nodes, nil)
+		if len(conns) != n-1 {
+			t.Fatalf("trial %d: %d conns for %d nodes", trial, len(conns), n)
+		}
+		uf := newUnionFind(n)
+		for _, c := range conns {
+			uf.union(c.U, c.V)
+		}
+		root := uf.find(0)
+		for i := 1; i < n; i++ {
+			if uf.find(i) != root {
+				t.Fatalf("trial %d: tree does not span", trial)
+			}
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if !uf.union(0, 1) || uf.union(1, 0) {
+		t.Fatal("union result wrong")
+	}
+	if uf.find(0) != uf.find(1) {
+		t.Fatal("not merged")
+	}
+	if uf.find(2) == uf.find(0) {
+		t.Fatal("spurious merge")
+	}
+	uf.union(2, 3)
+	uf.union(0, 3)
+	for i := 0; i < 4; i++ {
+		if uf.find(i) != uf.find(0) {
+			t.Fatal("chain merge failed")
+		}
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Fatal("node 4 should be separate")
+	}
+}

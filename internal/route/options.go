@@ -1,0 +1,55 @@
+// Package route implements TWGR, the TimberWolfSC global router, as the
+// five-step pipeline the paper describes (§2): Steiner trees, coarse global
+// routing with L-flip improvement, feedthrough insertion, feedthrough
+// assignment, net connection, and switchable-segment optimization.
+//
+// The phases are exposed individually so the parallel algorithms in
+// internal/parallel can orchestrate them per worker; Route runs them all.
+package route
+
+// Options are the router's tuning knobs. The zero value is not usable;
+// call Normalize (Route and NewRouter do it for you).
+type Options struct {
+	// Seed drives every randomized decision (segment visit order in steps
+	// 2 and 5). Two runs with equal options and circuit are identical.
+	Seed uint64
+	// GridColWidth is the coarse-grid column width in x units. Default 16.
+	GridColWidth int
+	// GridWidth fixes the coarse grid's horizontal extent in x units; 0
+	// means the routed circuit's own core width. The parallel algorithms
+	// set it to the full design's width so a worker holding a trimmed
+	// sub-circuit (whose foreign rows are empty) still builds the same
+	// grid as an untrimmed one.
+	GridWidth int
+	// CoarsePasses is how many random full sweeps of L-flip improvement
+	// step 2 performs. Default 3.
+	CoarsePasses int
+	// SwitchPasses is how many random full sweeps step 5 performs over the
+	// switchable segments. Default 3.
+	SwitchPasses int
+	// FtBase is the cost of one feedthrough in channel-congestion units
+	// (one unit = one wire crossing one grid column). Default 12.
+	FtBase int64
+	// TrackPitch is the channel height contributed by one track, in the
+	// same units as cell height, used by the area model. Default 2.
+	TrackPitch int
+}
+
+// Normalize fills zero fields with defaults.
+func (o *Options) Normalize() {
+	if o.GridColWidth <= 0 {
+		o.GridColWidth = 16
+	}
+	if o.CoarsePasses <= 0 {
+		o.CoarsePasses = 3
+	}
+	if o.SwitchPasses <= 0 {
+		o.SwitchPasses = 3
+	}
+	if o.FtBase <= 0 {
+		o.FtBase = 12
+	}
+	if o.TrackPitch <= 0 {
+		o.TrackPitch = 2
+	}
+}

@@ -1,0 +1,312 @@
+package route
+
+import (
+	"sort"
+	"time"
+
+	"parroute/internal/circuit"
+	"parroute/internal/grid"
+	"parroute/internal/metrics"
+	"parroute/internal/rng"
+	"parroute/internal/steiner"
+)
+
+// Router carries the state of one TWGR run. The phases mutate the attached
+// circuit (feedthrough cells are physically inserted), so callers who need
+// the original untouched should pass a clone — Route does this for you.
+type Router struct {
+	C    *circuit.Circuit
+	Opt  Options
+	Rand *rng.RNG
+
+	Grid *grid.Grid
+	Segs []PlacedSeg
+	// FtPinsByRow holds the not-yet-bound feedthrough pin IDs per row
+	// between insertion and assignment.
+	FtPinsByRow [][]int
+	// NetNodes and Conns are the step-4 connection structure; Wires is
+	// its flat channel-wire form used for density and step 5.
+	NetNodes [][]Node
+	Conns    []Connection
+	Wires    []metrics.Wire
+
+	CoarseFlips  int
+	SwitchFlips  int
+	ForcedEdges  int
+	InsertedFts  int
+	ExtraFts     int // feedthroughs inserted late during assignment (should stay 0)
+	UnboundFts   int // inserted feedthroughs never bound to a net (should stay 0)
+	phases       []metrics.Phase
+	switchableWs int
+}
+
+// NewRouter prepares a router over the given circuit. The circuit is
+// mutated by the routing phases.
+func NewRouter(c *circuit.Circuit, opt Options) *Router {
+	opt.Normalize()
+	return &Router{C: c, Opt: opt, Rand: rng.New(opt.Seed)}
+}
+
+// Route runs the full five-step pipeline on a clone of c and returns the
+// result. The input circuit is left untouched.
+func Route(c *circuit.Circuit, opt Options) *metrics.Result {
+	rt := NewRouter(c.Clone(), opt)
+	return rt.Run()
+}
+
+// Run executes all phases in order and returns the finalized result.
+func (rt *Router) Run() *metrics.Result {
+	start := time.Now()
+	rt.BuildTrees()
+	rt.CoarseRoute()
+	rt.InsertFeedthroughs()
+	rt.AssignFeedthroughs()
+	rt.ConnectNets()
+	rt.OptimizeSwitchable()
+	return rt.Result("twgr-serial", 1, time.Since(start))
+}
+
+func (rt *Router) timePhase(name string, f func()) {
+	t := time.Now()
+	f()
+	rt.phases = append(rt.phases, metrics.Phase{Name: name, Elapsed: time.Since(t)})
+}
+
+// BuildTrees is step 1: the approximate Steiner tree of every net,
+// flattened into placed segments with resolved channel access.
+func (rt *Router) BuildTrees() {
+	rt.timePhase("steiner", func() {
+		for n := range rt.C.Nets {
+			for _, seg := range steiner.BuildNet(rt.C, n) {
+				rt.Segs = append(rt.Segs, place(rt.C, seg))
+			}
+		}
+	})
+}
+
+// UseSegments installs externally built segments (the parallel algorithms
+// build trees once and ship the pieces) instead of calling BuildTrees.
+func (rt *Router) UseSegments(segs []steiner.Segment) {
+	rt.timePhase("steiner-install", func() {
+		rt.Segs = make([]PlacedSeg, 0, len(segs))
+		for _, seg := range segs {
+			rt.Segs = append(rt.Segs, place(rt.C, seg))
+		}
+	})
+}
+
+// CoarseRoute is step 2: load every segment into the coarse grid at its
+// initial bend, then sweep the segments in random order flipping L
+// orientations whenever that lowers congestion + feedthrough cost.
+func (rt *Router) CoarseRoute() {
+	rt.timePhase("coarse", func() {
+		width := rt.Opt.GridWidth
+		if width <= 0 {
+			width = rt.C.CoreWidth()
+		}
+		rt.Grid = grid.New(len(rt.C.Rows), width, rt.Opt.GridColWidth)
+		for i := range rt.Segs {
+			addRuns(rt.Grid, rt.Segs[i].CurrentRuns(), 1)
+		}
+		rt.CoarseFlips += improveBends(rt.Grid, rt.Segs, rt.Rand, rt.Opt.CoarsePasses, rt.Opt.FtBase)
+	})
+}
+
+// improveBends runs random improvement sweeps over the segments with a
+// bend choice; grid must already contain all segments. Returns flip count.
+func improveBends(g *grid.Grid, segs []PlacedSeg, r *rng.RNG, passes int, ftBase int64) int {
+	candidates := make([]int, 0, len(segs))
+	for i := range segs {
+		if segs[i].HasBend() && segs[i].XP != segs[i].XQ {
+			candidates = append(candidates, i)
+		}
+	}
+	flips := 0
+	for pass := 0; pass < passes; pass++ {
+		perm := r.Perm(len(candidates))
+		improved := false
+		for _, pi := range perm {
+			ps := &segs[candidates[pi]]
+			cur := ps.CurrentRuns()
+			addRuns(g, cur, -1)
+			alt := ps.RunsFor(!ps.BendAtP)
+			costCur := runsCost(g, cur, ftBase)
+			costAlt := runsCost(g, alt, ftBase)
+			if costAlt < costCur {
+				ps.BendAtP = !ps.BendAtP
+				addRuns(g, alt, 1)
+				flips++
+				improved = true
+			} else {
+				addRuns(g, cur, 1)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return flips
+}
+
+// InsertFeedthroughs is the tail of step 2: realize the grid's feedthrough
+// demand as physical feedthrough cells, then refresh segment geometry
+// (insertion shifts cells and the pins on them).
+func (rt *Router) InsertFeedthroughs() {
+	rt.timePhase("ft-insert", func() {
+		rt.FtPinsByRow = make([][]int, len(rt.C.Rows))
+		for row := 0; row < rt.Grid.Rows; row++ {
+			for col := 0; col < rt.Grid.Cols; col++ {
+				demand := rt.Grid.FtDemand(row, col)
+				for i := 0; i < demand; i++ {
+					pin := rt.C.InsertFeedthrough(row, rt.Grid.ColCenter(col), circuit.NoNet)
+					rt.FtPinsByRow[row] = append(rt.FtPinsByRow[row], pin)
+					rt.InsertedFts++
+				}
+			}
+		}
+		rt.refreshSegs()
+	})
+}
+
+// refreshSegs re-reads endpoint positions from the circuit after cell
+// shifts. Fake pins have no cell and never move.
+func (rt *Router) refreshSegs() {
+	for i := range rt.Segs {
+		ps := &rt.Segs[i]
+		ps.XP = rt.C.Pins[ps.PinAtP].X
+		ps.XQ = rt.C.Pins[ps.PinAtQ].X
+	}
+}
+
+// crossing is one (segment, row) feedthrough need during assignment.
+type crossing struct {
+	net int
+	x   int
+	seg int
+}
+
+// AssignFeedthroughs is step 3: per row, bind each segment crossing the
+// row to a concrete feedthrough pin, matching both sides in x order (the
+// order-preserving matching minimizes total displacement). Binding a pin
+// attaches it to the segment's net, which makes it a step-4 node.
+func (rt *Router) AssignFeedthroughs() {
+	rt.timePhase("ft-assign", func() {
+		byRow := make([][]crossing, len(rt.C.Rows))
+		for i := range rt.Segs {
+			runs := rt.Segs[i].CurrentRuns()
+			if !runs.HasVert() {
+				continue
+			}
+			for row := runs.VLo; row <= runs.VHi; row++ {
+				byRow[row] = append(byRow[row], crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i})
+			}
+		}
+		for row := range byRow {
+			crossings := byRow[row]
+			sort.Slice(crossings, func(i, j int) bool {
+				if crossings[i].x != crossings[j].x {
+					return crossings[i].x < crossings[j].x
+				}
+				return crossings[i].net < crossings[j].net
+			})
+			fts := rt.FtPinsByRow[row]
+			sort.Slice(fts, func(i, j int) bool {
+				return rt.C.Pins[fts[i]].X < rt.C.Pins[fts[j]].X
+			})
+			for i, cr := range crossings {
+				var pinID int
+				if i < len(fts) {
+					pinID = fts[i]
+				} else {
+					// Demand bookkeeping failed to cover this crossing;
+					// recover by inserting one more feedthrough here.
+					pinID = rt.C.InsertFeedthrough(row, cr.x, circuit.NoNet)
+					rt.ExtraFts++
+					rt.InsertedFts++
+				}
+				rt.bindFt(pinID, cr.net)
+			}
+			if len(fts) > len(crossings) {
+				rt.UnboundFts += len(fts) - len(crossings)
+			}
+			rt.FtPinsByRow[row] = nil
+		}
+		if rt.ExtraFts > 0 {
+			rt.refreshSegs()
+		}
+	})
+}
+
+// bindFt attaches an unbound feedthrough pin to a net.
+func (rt *Router) bindFt(pinID, netID int) {
+	pin := &rt.C.Pins[pinID]
+	pin.Net = netID
+	rt.C.Nets[netID].Pins = append(rt.C.Nets[netID].Pins, pinID)
+}
+
+// ConnectNets is step 4: per net, the adjacency-restricted MST over its
+// pins and bound feedthroughs produces the final channel wires. Nets are
+// streamed through a live occupancy so each switchable connection starts
+// in the channel that is cheaper at the moment it is placed; step 5 then
+// iterates on those choices.
+func (rt *Router) ConnectNets() {
+	rt.timePhase("connect", func() {
+		occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
+		rt.NetNodes = make([][]Node, len(rt.C.Nets))
+		for n := range rt.C.Nets {
+			pins := rt.C.Nets[n].Pins
+			if len(pins) < 2 {
+				continue
+			}
+			nodes := make([]Node, len(pins))
+			for i, pid := range pins {
+				p := &rt.C.Pins[pid]
+				nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
+			}
+			rt.NetNodes[n] = nodes
+			conns, forced := ConnectNodes(n, nodes, occ)
+			rt.ForcedEdges += forced
+			for i := range conns {
+				rt.Conns = append(rt.Conns, conns[i])
+				rt.Wires = append(rt.Wires, conns[i].Wire(nodes))
+			}
+		}
+	})
+}
+
+// OptimizeSwitchable is step 5 over the wires produced by ConnectNets.
+func (rt *Router) OptimizeSwitchable() {
+	rt.timePhase("switch-opt", func() {
+		occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
+		occ.AddWires(rt.Wires)
+		for i := range rt.Wires {
+			if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
+				rt.switchableWs++
+			}
+		}
+		rt.SwitchFlips += OptimizeSwitchable(rt.Wires, occ, rt.Rand, rt.Opt.SwitchPasses)
+	})
+}
+
+// Phases returns the wall time of each phase run so far.
+func (rt *Router) Phases() []metrics.Phase { return rt.phases }
+
+// Result assembles and finalizes the metrics for a completed run.
+func (rt *Router) Result(algo string, procs int, elapsed time.Duration) *metrics.Result {
+	res := &metrics.Result{
+		Circuit:         rt.C.Name,
+		Algo:            algo,
+		Procs:           procs,
+		Wires:           rt.Wires,
+		Feedthroughs:    rt.InsertedFts,
+		ForcedEdges:     rt.ForcedEdges,
+		CoreWidth:       rt.C.CoreWidth(),
+		SwitchableWires: rt.switchableWs,
+		SwitchFlips:     rt.SwitchFlips,
+		CoarseFlips:     rt.CoarseFlips,
+		Elapsed:         elapsed,
+		Phases:          rt.phases,
+	}
+	res.Finalize(rt.C.NumChannels(), len(rt.C.Rows), rt.C.CellHeight, rt.Opt.TrackPitch)
+	return res
+}

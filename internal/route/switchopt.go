@@ -1,0 +1,197 @@
+package route
+
+import (
+	"fmt"
+
+	"parroute/internal/geom"
+	"parroute/internal/metrics"
+	"parroute/internal/rng"
+)
+
+// Occupancy tracks per-channel column occupation during step 5. It is the
+// fine-grained sibling of the coarse grid: same column quantization, but
+// fed with the final step-4 wires rather than step-2 estimates. The
+// parallel algorithms preload it with neighbor wires ("background") so a
+// worker evaluates flips against everything known to occupy its channels.
+type Occupancy struct {
+	Channels int
+	Cols     int
+	ColWidth int
+	occ      []int32
+}
+
+// NewOccupancy returns an empty occupancy table.
+func NewOccupancy(channels, coreWidth, colWidth int) *Occupancy {
+	if colWidth <= 0 {
+		panic(fmt.Sprintf("route: occupancy colWidth %d must be positive", colWidth))
+	}
+	cols := (geom.Max(coreWidth, 1) + colWidth - 1) / colWidth
+	return &Occupancy{Channels: channels, Cols: cols, ColWidth: colWidth,
+		occ: make([]int32, channels*cols)}
+}
+
+func (o *Occupancy) colOf(x int) int { return geom.Clamp(x/o.ColWidth, 0, o.Cols-1) }
+
+// Add adjusts channel ch's occupation over span by delta.
+func (o *Occupancy) Add(ch int, span geom.Interval, delta int32) {
+	if span.Empty() {
+		return
+	}
+	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
+	base := ch * o.Cols
+	for col := lo; col <= hi; col++ {
+		o.occ[base+col] += delta
+	}
+}
+
+// AddWires loads a set of wires into the table.
+func (o *Occupancy) AddWires(wires []metrics.Wire) {
+	for i := range wires {
+		o.Add(wires[i].Channel, wires[i].Span, 1)
+	}
+}
+
+// At returns the occupation of channel ch at column col.
+func (o *Occupancy) At(ch, col int) int { return int(o.occ[ch*o.Cols+col]) }
+
+// ChannelCounts returns a copy of one channel's column counts; the
+// parallel algorithms exchange these slices for shared boundary channels.
+func (o *Occupancy) ChannelCounts(ch int) []int32 {
+	return append([]int32(nil), o.occ[ch*o.Cols:(ch+1)*o.Cols]...)
+}
+
+// AddChannelCounts adds externally supplied column counts into channel ch.
+func (o *Occupancy) AddChannelCounts(ch int, counts []int32) {
+	if len(counts) != o.Cols {
+		panic(fmt.Sprintf("route: channel counts length %d, want %d", len(counts), o.Cols))
+	}
+	base := ch * o.Cols
+	for col, v := range counts {
+		o.occ[base+col] += v
+	}
+}
+
+// Counts returns a copy of all column counts (channel-major), the payload
+// the net-wise algorithm synchronizes between workers.
+func (o *Occupancy) Counts() []int32 {
+	return append([]int32(nil), o.occ...)
+}
+
+// SetCounts replaces all column counts; len(counts) must match.
+func (o *Occupancy) SetCounts(counts []int32) {
+	if len(counts) != len(o.occ) {
+		panic(fmt.Sprintf("route: occupancy counts length %d, want %d", len(counts), len(o.occ)))
+	}
+	copy(o.occ, counts)
+}
+
+// maxWeight scales the peak-density component of MoveCost above any
+// possible sum-of-squares tiebreak.
+const maxWeight = 1 << 24
+
+// AddCost returns the cost of adding a wire spanning span to channel ch:
+// the peak-density increase weighted above a sum-of-squares tiebreak, on
+// the same scale as MoveCost. Step 4 uses it to pick the cheaper channel
+// for a switchable connection as it streams wires into the occupancy.
+func (o *Occupancy) AddCost(ch int, span geom.Interval) int64 {
+	if span.Empty() {
+		return 0
+	}
+	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
+	base := ch * o.Cols
+	var max, maxAfter, squares int64
+	for col := 0; col < o.Cols; col++ {
+		v := int64(o.occ[base+col])
+		va := v
+		if col >= lo && col <= hi {
+			va++
+			squares += 2*v + 1
+		}
+		if v > max {
+			max = v
+		}
+		if va > maxAfter {
+			maxAfter = va
+		}
+	}
+	return (maxAfter-max)*maxWeight + squares
+}
+
+// MoveCost returns the cost delta of moving a wire spanning span from
+// channel from to channel to; negative means the move improves matters.
+// The wire must currently be counted in from.
+//
+// The primary term is the change in peak column density of the two
+// channels — the track count a channel router needs, which is what TWGR's
+// step 5 minimizes ("evaluating the channel track change when the segment
+// is flipped to the opposite channel"). Sum-of-squares congestion breaks
+// ties so density still spreads when the peak is unaffected, enabling
+// later improving moves.
+func (o *Occupancy) MoveCost(from, to int, span geom.Interval) int64 {
+	if span.Empty() {
+		return 0
+	}
+	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
+	fromBase, toBase := from*o.Cols, to*o.Cols
+
+	var maxFrom, maxFromAfter, maxTo, maxToAfter, squares int64
+	for col := 0; col < o.Cols; col++ {
+		f := int64(o.occ[fromBase+col])
+		t := int64(o.occ[toBase+col])
+		fa, ta := f, t
+		if col >= lo && col <= hi {
+			fa--
+			ta++
+			// Squares delta: -(2f-1) for the removal, +(2t+1) for the add.
+			squares += 2*t + 1 - (2*f - 1)
+		}
+		if f > maxFrom {
+			maxFrom = f
+		}
+		if fa > maxFromAfter {
+			maxFromAfter = fa
+		}
+		if t > maxTo {
+			maxTo = t
+		}
+		if ta > maxToAfter {
+			maxToAfter = ta
+		}
+	}
+	deltaMax := (maxFromAfter + maxToAfter) - (maxFrom + maxTo)
+	return deltaMax*maxWeight + squares
+}
+
+// OptimizeSwitchable performs TWGR step 5: random sweeps over the
+// switchable wires, flipping each to the opposite channel whenever that
+// lowers the congestion cost. wires is mutated in place (Channel fields);
+// occ must already contain every wire (and any background). It returns the
+// number of flips taken.
+func OptimizeSwitchable(wires []metrics.Wire, occ *Occupancy, r *rng.RNG, passes int) int {
+	switchable := make([]int, 0, len(wires))
+	for i := range wires {
+		if wires[i].Switchable && !wires[i].Span.Empty() {
+			switchable = append(switchable, i)
+		}
+	}
+	flips := 0
+	for pass := 0; pass < passes; pass++ {
+		perm := r.Perm(len(switchable))
+		improved := false
+		for _, pi := range perm {
+			w := &wires[switchable[pi]]
+			other := w.OtherChannel()
+			if occ.MoveCost(w.Channel, other, w.Span) < 0 {
+				occ.Add(w.Channel, w.Span, -1)
+				occ.Add(other, w.Span, 1)
+				w.Channel = other
+				flips++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return flips
+}

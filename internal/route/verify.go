@@ -1,0 +1,118 @@
+package route
+
+import (
+	"fmt"
+
+	"parroute/internal/circuit"
+)
+
+// Verify checks the routed state against the invariants of a correct
+// global route and returns the first violation:
+//
+//   - every multi-pin net's connections form a spanning tree over its
+//     nodes (electrical completeness);
+//   - every non-forced wire occupies a channel reachable from both of its
+//     endpoints;
+//   - switchable wires sit in one of their two candidate channels;
+//   - feedthrough bookkeeping closed exactly (no uncovered crossings, no
+//     orphaned feedthrough cells);
+//   - the circuit data structure itself is still consistent.
+//
+// Call it after the pipeline has run (Run, or the individual phases
+// through ConnectNets).
+func (rt *Router) Verify() error {
+	if err := rt.C.Validate(); err != nil {
+		return fmt.Errorf("route: circuit corrupted: %w", err)
+	}
+	if rt.ExtraFts > 0 {
+		return fmt.Errorf("route: %d crossings were not covered by the demand estimate", rt.ExtraFts)
+	}
+	if rt.UnboundFts > 0 {
+		return fmt.Errorf("route: %d feedthroughs inserted but never bound", rt.UnboundFts)
+	}
+
+	// Group connections per net and check the spanning-tree property.
+	conns := make(map[int][]Connection)
+	for _, c := range rt.Conns {
+		conns[c.Net] = append(conns[c.Net], c)
+	}
+	for n, nodes := range rt.NetNodes {
+		if len(nodes) < 2 {
+			continue
+		}
+		cs := conns[n]
+		if len(cs) != len(nodes)-1 {
+			return fmt.Errorf("route: net %d has %d connections for %d nodes", n, len(cs), len(nodes))
+		}
+		uf := newUnionFind(len(nodes))
+		for _, c := range cs {
+			if c.U < 0 || c.U >= len(nodes) || c.V < 0 || c.V >= len(nodes) {
+				return fmt.Errorf("route: net %d connection references node %d/%d of %d",
+					n, c.U, c.V, len(nodes))
+			}
+			uf.union(c.U, c.V)
+		}
+		root := uf.find(0)
+		for i := range nodes {
+			if uf.find(i) != root {
+				return fmt.Errorf("route: net %d is electrically disconnected at node %d", n, i)
+			}
+		}
+	}
+
+	// Wires correspond 1:1 with connections and respect endpoint reach.
+	if len(rt.Wires) != len(rt.Conns) {
+		return fmt.Errorf("route: %d wires for %d connections", len(rt.Wires), len(rt.Conns))
+	}
+	numCh := rt.C.NumChannels()
+	for i := range rt.Conns {
+		c := &rt.Conns[i]
+		w := &rt.Wires[i]
+		if w.Net != c.Net {
+			return fmt.Errorf("route: wire %d belongs to net %d, connection to %d", i, w.Net, c.Net)
+		}
+		if w.Channel < 0 || w.Channel >= numCh {
+			return fmt.Errorf("route: wire %d in channel %d of %d", i, w.Channel, numCh)
+		}
+		if c.Forced {
+			continue
+		}
+		if c.Switchable && w.Channel != c.Row && w.Channel != c.Row+1 {
+			return fmt.Errorf("route: switchable wire %d in channel %d, candidates %d/%d",
+				i, w.Channel, c.Row, c.Row+1)
+		}
+		nodes := rt.NetNodes[c.Net]
+		for _, end := range []Node{nodes[c.U], nodes[c.V]} {
+			lo, hi, _ := end.Channels()
+			if w.Channel < lo || w.Channel > hi {
+				return fmt.Errorf("route: wire %d in channel %d unreachable from its endpoint (row %d, %v)",
+					i, w.Channel, end.Row, end.Side)
+			}
+		}
+	}
+
+	// Feedthrough cells: one Both-sided pin each, bound to a net.
+	ftCells := 0
+	for i := range rt.C.Cells {
+		cell := &rt.C.Cells[i]
+		if !cell.Feed {
+			continue
+		}
+		ftCells++
+		if len(cell.Pins) != 1 {
+			return fmt.Errorf("route: feedthrough cell %d has %d pins", i, len(cell.Pins))
+		}
+		pin := &rt.C.Pins[cell.Pins[0]]
+		if pin.Side != circuit.Both {
+			return fmt.Errorf("route: feedthrough pin %d has side %v", pin.ID, pin.Side)
+		}
+		if pin.Net == circuit.NoNet {
+			return fmt.Errorf("route: feedthrough pin %d unbound", pin.ID)
+		}
+	}
+	if ftCells != rt.InsertedFts {
+		return fmt.Errorf("route: %d feedthrough cells but %d insertions recorded",
+			ftCells, rt.InsertedFts)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package steiner builds each net's approximate Steiner tree — TWGR's
+// step 1 — from the minimum spanning tree of the net's pins.
+//
+// Every MST edge between pins in different rows becomes a Segment routed as
+// a one-bend L: a vertical run at some column (BendX) plus a horizontal run
+// in a channel. Step 2 (coarse global routing) later flips each segment
+// between its two L orientations; step 1 only fixes the initial shape. Each
+// same-row edge becomes a flat Segment with no vertical run.
+package steiner
+
+import (
+	"sort"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/mst"
+)
+
+// VerticalCost is the MST distance weight of one row of vertical span
+// relative to one x unit of horizontal span. Crossing a row costs a
+// feedthrough, which is far more expensive than channel wirelength, so the
+// tree prefers horizontal structure.
+const VerticalCost = 16
+
+// Segment is one tree edge of a net: a connection between two pins (or,
+// after splitting in the parallel algorithms, between a pin and a fake
+// pin). For cross-row segments the L orientation is encoded by BendX.
+type Segment struct {
+	Net  int
+	PinP int // pin ID of the lower endpoint (row P <= row Q)
+	PinQ int // pin ID of the upper endpoint
+
+	// Cached endpoint geometry (X, Row). Kept explicit so segments remain
+	// meaningful when shipped between workers without the full circuit.
+	P, Q geom.Point
+
+	// BendX is the column of the vertical run: P.X means "vertical first",
+	// Q.X means "horizontal first". Flat segments (P.Y == Q.Y) have no
+	// vertical run and BendX is unused.
+	BendX int
+}
+
+// Flat reports whether the segment stays within one row (no vertical run).
+func (s *Segment) Flat() bool { return s.P.Y == s.Q.Y }
+
+// VerticalSpan returns the rows the vertical run passes through, i.e. the
+// rows that need a feedthrough for this segment under the current bend,
+// given the channels the run connects. The run goes from channel cLo to
+// channel cHi (cLo <= cHi): it crosses rows cLo..cHi-1.
+func VerticalSpan(cLo, cHi int) (firstRow, lastRow int, ok bool) {
+	if cHi <= cLo {
+		return 0, 0, false
+	}
+	return cLo, cHi - 1, true
+}
+
+// HorizontalSpan returns the x interval of the horizontal run.
+func (s *Segment) HorizontalSpan() geom.Interval {
+	return geom.NewInterval(s.P.X, s.Q.X)
+}
+
+// Build computes the Steiner segments of every net in the circuit. Segments
+// are grouped per net: Build returns a slice indexed by net ID. Single-pin
+// and empty nets yield no segments.
+//
+// The MST metric is |dx| + VerticalCost*|drow|; the initial bend of each
+// cross-row segment is the column of its lower endpoint (vertical-first),
+// a deterministic choice step 2 immediately begins improving.
+func Build(c *circuit.Circuit) [][]Segment {
+	out := make([][]Segment, len(c.Nets))
+	for n := range c.Nets {
+		out[n] = BuildNet(c, n)
+	}
+	return out
+}
+
+// LargeNetThreshold is the pin count above which BuildNet switches from
+// the exact O(n^2) Prim MST to the O(n log n) row-chain construction.
+// Only clock-class nets exceed it.
+const LargeNetThreshold = 192
+
+// BuildNet computes the Steiner segments of a single net.
+func BuildNet(c *circuit.Circuit, netID int) []Segment {
+	pinIDs := c.Nets[netID].Pins
+	if len(pinIDs) < 2 {
+		return nil
+	}
+	pts := make([]geom.Point, len(pinIDs))
+	for i, pid := range pinIDs {
+		pts[i] = c.Pins[pid].Point()
+	}
+	var segs []Segment
+	if len(pinIDs) > LargeNetThreshold {
+		segs = buildLargeNet(netID, pinIDs, pts)
+	} else {
+		edges, _ := mst.Prim(len(pts), func(i, j int) int64 {
+			return int64(geom.Abs(pts[i].X-pts[j].X)) +
+				VerticalCost*int64(geom.Abs(pts[i].Y-pts[j].Y))
+		})
+		segs = make([]Segment, 0, len(edges))
+		for _, e := range edges {
+			segs = append(segs, NewSegment(netID, pinIDs[e.U], pts[e.U], pinIDs[e.V], pts[e.V]))
+		}
+	}
+	// A fake pin marks where the whole net's route crossed the partition
+	// boundary — the parent segment's vertical run passed through that
+	// exact column. Start the split piece with its bend there, so the
+	// boundary hand-off is a point, not a fresh span in the shared channel.
+	for i := range segs {
+		s := &segs[i]
+		pFake := c.Pins[s.PinP].Fake
+		qFake := c.Pins[s.PinQ].Fake
+		switch {
+		case pFake && !qFake:
+			s.BendX = s.P.X
+		case qFake && !pFake:
+			s.BendX = s.Q.X
+		}
+	}
+	return segs
+}
+
+// buildLargeNet approximates the Steiner tree of a clock-class net the way
+// such nets actually route in row-based designs: a horizontal trunk chain
+// per row (consecutive pins by x), with each row chain hooked to the
+// nearest pin of the previous populated row. With VerticalCost dominating,
+// the exact MST converges to almost exactly this shape anyway, and this
+// construction is O(n log n) instead of O(n^2).
+func buildLargeNet(netID int, pinIDs []int, pts []geom.Point) []Segment {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if pts[ia].Y != pts[ib].Y {
+			return pts[ia].Y < pts[ib].Y
+		}
+		if pts[ia].X != pts[ib].X {
+			return pts[ia].X < pts[ib].X
+		}
+		return ia < ib
+	})
+	segs := make([]Segment, 0, len(pts)-1)
+	var prevRow []int // previous populated row's pin order, sorted by x
+	for lo := 0; lo < len(order); {
+		hi := lo
+		for hi < len(order) && pts[order[hi]].Y == pts[order[lo]].Y {
+			hi++
+		}
+		row := order[lo:hi]
+		for i := lo + 1; i < hi; i++ {
+			u, v := order[i-1], order[i]
+			segs = append(segs, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
+		}
+		if prevRow != nil {
+			u, v := closestPair(pts, prevRow, row)
+			segs = append(segs, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
+		}
+		prevRow = row
+		lo = hi
+	}
+	return segs
+}
+
+// closestPair returns the x-closest pair between two x-sorted index lists
+// via a linear merge scan.
+func closestPair(pts []geom.Point, a, b []int) (int, int) {
+	bu, bv := a[0], b[0]
+	best := geom.Abs(pts[bu].X - pts[bv].X)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		u, v := a[i], b[j]
+		if d := geom.Abs(pts[u].X - pts[v].X); d < best {
+			best, bu, bv = d, u, v
+		}
+		if pts[u].X <= pts[v].X {
+			i++
+		} else {
+			j++
+		}
+	}
+	return bu, bv
+}
+
+// NewSegment builds a segment between two endpoints, normalizing so the
+// lower row comes first and flat segments run left to right. The initial
+// bend is at the lower endpoint's column.
+func NewSegment(netID, pinA int, a geom.Point, pinB int, b geom.Point) Segment {
+	if a.Y > b.Y || (a.Y == b.Y && a.X > b.X) {
+		pinA, pinB = pinB, pinA
+		a, b = b, a
+	}
+	return Segment{Net: netID, PinP: pinA, PinQ: pinB, P: a, Q: b, BendX: a.X}
+}
+
+// CountSegments returns the total segment count across all nets.
+func CountSegments(segs [][]Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	return n
+}

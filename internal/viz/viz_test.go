@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"parroute/internal/gen"
+	"parroute/internal/route"
+)
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	c := gen.Tiny(3)
+	rt := route.NewRouter(c.Clone(), route.Options{Seed: 1})
+	res := rt.Run()
+
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, rt.C, res.Wires, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// Cells and wires are present.
+	if strings.Count(out, "<rect") < len(rt.C.Cells) {
+		t.Fatalf("only %d rects for %d cells", strings.Count(out, "<rect"), len(rt.C.Cells))
+	}
+	if strings.Count(out, "<line") == 0 {
+		t.Fatal("no wires rendered")
+	}
+	// Feedthrough highlight color appears (the router inserted some).
+	if res.Feedthroughs > 0 && !strings.Contains(out, "#f2c94c") {
+		t.Fatal("feedthrough cells not highlighted")
+	}
+}
+
+func TestWriteSVGMaxWiresCap(t *testing.T) {
+	c := gen.Tiny(3)
+	rt := route.NewRouter(c.Clone(), route.Options{Seed: 1})
+	res := rt.Run()
+
+	var full, capped bytes.Buffer
+	if err := WriteSVG(&full, rt.C, res.Wires, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&capped, rt.C, res.Wires, Options{MaxWires: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if capped.Len() >= full.Len() {
+		t.Fatal("MaxWires did not reduce output")
+	}
+}
+
+func TestWireColorStable(t *testing.T) {
+	if wireColor(3) != wireColor(3) {
+		t.Fatal("color not stable")
+	}
+	if wireColor(-1) == "" || wireColor(12345) == "" {
+		t.Fatal("missing color")
+	}
+}
