@@ -277,7 +277,7 @@ func (c *Circuit) NetPins(n int) []*Pin {
 func (c *Circuit) NetBBox(n int) geom.Rect {
 	pins := c.Nets[n].Pins
 	if len(pins) == 0 {
-		panic(fmt.Sprintf("circuit: net %d has no pins", n))
+		panic(fmt.Sprintf("circuit: net %d has no pins", n)) //lint:allow panic-in-library documented contract: NetBBox of a pinless net is a caller bug
 	}
 	pts := make([]geom.Point, len(pins))
 	for i, pid := range pins {

@@ -119,7 +119,7 @@ type Rect struct {
 // pts is empty, since an empty bounding box has no meaningful coordinates.
 func RectFromPoints(pts []Point) Rect {
 	if len(pts) == 0 {
-		panic("geom: RectFromPoints with no points")
+		panic("geom: RectFromPoints with no points") //lint:allow panic-in-library documented contract: empty bounding box has no coordinates
 	}
 	r := Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
 	for _, p := range pts[1:] {

@@ -37,7 +37,9 @@ type Grid struct {
 // colWidth must be positive; width is rounded up to a whole column.
 func New(rows, coreWidth, colWidth int) *Grid {
 	if colWidth <= 0 {
-		panic(fmt.Sprintf("grid: colWidth %d must be positive", colWidth))
+		// Constructor contract: callers pass a validated Options quantum,
+		// so this is a programmer error rather than a data condition.
+		panic(fmt.Sprintf("grid: colWidth %d must be positive", colWidth)) //lint:allow panic-in-library documented constructor invariant
 	}
 	if coreWidth < 1 {
 		coreWidth = 1
@@ -157,31 +159,41 @@ func (g *Grid) Zero() {
 }
 
 // AddFrom adds other's counters into g. The grids must have identical
-// shape; this is the merge step of the net-wise synchronization.
-func (g *Grid) AddFrom(other *Grid) {
-	g.mustMatch(other)
+// shape; this is the merge step of the net-wise synchronization, and the
+// merged grid may have crossed the transport, so a shape mismatch is a
+// data error reported to the caller.
+func (g *Grid) AddFrom(other *Grid) error {
+	if err := g.matchErr(other); err != nil {
+		return err
+	}
 	for i, v := range other.Dens {
 		g.Dens[i] += v
 	}
 	for i, v := range other.Ft {
 		g.Ft[i] += v
 	}
+	return nil
 }
 
-// SubFrom subtracts other's counters from g.
-func (g *Grid) SubFrom(other *Grid) {
-	g.mustMatch(other)
+// SubFrom subtracts other's counters from g; see AddFrom for the shape
+// contract.
+func (g *Grid) SubFrom(other *Grid) error {
+	if err := g.matchErr(other); err != nil {
+		return err
+	}
 	for i, v := range other.Dens {
 		g.Dens[i] -= v
 	}
 	for i, v := range other.Ft {
 		g.Ft[i] -= v
 	}
+	return nil
 }
 
-func (g *Grid) mustMatch(other *Grid) {
+func (g *Grid) matchErr(other *Grid) error {
 	if g.Rows != other.Rows || g.Cols != other.Cols {
-		panic(fmt.Sprintf("grid: shape mismatch %dx%d vs %dx%d",
-			g.Rows, g.Cols, other.Rows, other.Cols))
+		return fmt.Errorf("grid: shape mismatch %dx%d vs %dx%d",
+			g.Rows, g.Cols, other.Rows, other.Cols)
 	}
+	return nil
 }

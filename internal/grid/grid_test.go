@@ -126,14 +126,18 @@ func TestCloneAndMerge(t *testing.T) {
 	if a.Density(0, 0) != 1 {
 		t.Fatal("clone shares storage with original")
 	}
-	a.AddFrom(b)
+	if err := a.AddFrom(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.Density(0, 0) != 3 { // 1 + (1+1)
 		t.Fatalf("merged density = %d", a.Density(0, 0))
 	}
 	if a.FtDemand(0, 3) != 2 {
 		t.Fatalf("merged demand = %d", a.FtDemand(0, 3))
 	}
-	a.SubFrom(b)
+	if err := a.SubFrom(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.Density(0, 0) != 1 || a.FtDemand(0, 3) != 1 {
 		t.Fatal("SubFrom did not invert AddFrom")
 	}
@@ -143,13 +147,13 @@ func TestCloneAndMerge(t *testing.T) {
 	}
 }
 
-func TestMergeShapeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("shape mismatch should panic")
-		}
-	}()
-	New(3, 160, 16).AddFrom(New(4, 160, 16))
+func TestMergeShapeMismatch(t *testing.T) {
+	if err := New(3, 160, 16).AddFrom(New(4, 160, 16)); err == nil {
+		t.Fatal("shape mismatch should be reported")
+	}
+	if err := New(3, 160, 16).SubFrom(New(4, 160, 16)); err == nil {
+		t.Fatal("shape mismatch should be reported")
+	}
 }
 
 func TestAddRemoveInverseProperty(t *testing.T) {

@@ -1,0 +1,186 @@
+// Package lint is the static-analysis driver behind cmd/parroutecheck. It
+// enforces the determinism and concurrency-hygiene rules the parallel
+// routing algorithms depend on: every worker draws randomness from its own
+// rng.RNG stream, wall-clock time never feeds a routing decision, state
+// crosses goroutines through the mp transports (whose errors must be
+// checked), and map iteration order never leaks into routing output.
+//
+// The driver is built entirely on the standard library (go/parser,
+// go/types); see load.go. Analyzers report file:line diagnostics; a
+// deliberate exception is suppressed by annotating the offending line (or
+// the line directly above it) with
+//
+//	//lint:allow <rule> <reason>
+//
+// where <rule> names the analyzer and <reason> is a non-empty
+// justification. A directive missing either part is itself reported under
+// the rule name "lint-directive" and suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at one source position. File is relative to
+// the module root, with forward slashes.
+type Diagnostic struct {
+	File string
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Cfg  *Config
+	Mod  *Module
+	Pkg  *Package
+	rule string
+	out  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	*p.out = append(*p.out, Diagnostic{
+		File: file,
+		Line: position.Line,
+		Col:  position.Column,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes the rules to the right parts of the module.
+type Config struct {
+	// DeterministicPkgs are the import paths whose routing results must
+	// not depend on Go map iteration order; the map-ordering checks of the
+	// nondeterminism analyzer run only there (and in testdata fixture
+	// packages, where every rule applies).
+	DeterministicPkgs []string
+	// TimeAllowedPkgs and TimeAllowedFiles exempt measurement
+	// infrastructure from the time.Now/time.Since ban. Files are module
+	// root relative, slash separated.
+	TimeAllowedPkgs  []string
+	TimeAllowedFiles []string
+}
+
+// DefaultConfig is the policy for this repository, documented in
+// DESIGN.md's "Static analysis" section.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: []string{
+			"parroute/internal/route",
+			"parroute/internal/parallel",
+			"parroute/internal/steiner",
+			"parroute/internal/partition",
+			"parroute/internal/channel",
+		},
+		TimeAllowedPkgs: []string{
+			"parroute/internal/metrics",
+		},
+		TimeAllowedFiles: []string{
+			"internal/parallel/common.go", // the stopwatch that feeds Summary.Phases
+		},
+	}
+}
+
+// timeAllowed reports whether wall-clock reads are permitted at the given
+// position.
+func (c *Config) timeAllowed(pkgPath, relFile string) bool {
+	for _, p := range c.TimeAllowedPkgs {
+		if pkgPath == p {
+			return true
+		}
+	}
+	for _, f := range c.TimeAllowedFiles {
+		if relFile == f {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicScope reports whether the map-ordering rules apply to pkg.
+// Fixture packages under testdata opt into every rule so the golden tests
+// can exercise them.
+func (c *Config) deterministicScope(pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range c.DeterministicPkgs {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full registry, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerNondeterminism,
+		analyzerRNGSharing,
+		analyzerSyncByValue,
+		analyzerUncheckedError,
+		analyzerErrorWrap,
+		analyzerPanicInLibrary,
+	}
+}
+
+// Run executes every analyzer over every package of mod, applies
+// //lint:allow suppressions, and returns the surviving diagnostics sorted
+// by position.
+func Run(mod *Module, cfg *Config) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range Analyzers() {
+			a.Run(&Pass{Cfg: cfg, Mod: mod, Pkg: pkg, rule: a.Name, out: &raw})
+		}
+	}
+	diags := applyAllows(mod, raw)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// relFile returns f's filename relative to the module root.
+func (p *Pass) relFile(f *ast.File) string {
+	name := p.Mod.Fset.Position(f.Package).Filename
+	if rel, err := filepath.Rel(p.Mod.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}

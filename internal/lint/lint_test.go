@@ -1,0 +1,110 @@
+package lint_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"parroute/internal/lint"
+)
+
+// loadFixture loads one testdata package and runs the default suite.
+func loadFixture(t *testing.T, dir string) []lint.Diagnostic {
+	t.Helper()
+	mod, err := lint.LoadDirs(".", []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(mod, lint.DefaultConfig())
+}
+
+// TestFixtureFiresEachRuleExactlyOnce is the contract of the fixture
+// package: one intentional violation per analyzer, everything in
+// allowed.go suppressed.
+func TestFixtureFiresEachRuleExactlyOnce(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/fixture")
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Rule]++
+		if strings.Contains(d.File, "allowed.go") {
+			t.Errorf("suppressed violation still reported: %s", d)
+		}
+	}
+	for _, a := range lint.Analyzers() {
+		if counts[a.Name] != 1 {
+			t.Errorf("rule %s fired %d times, want exactly 1", a.Name, counts[a.Name])
+		}
+	}
+	if len(diags) != len(lint.Analyzers()) {
+		t.Errorf("got %d diagnostics, want %d (one per analyzer)", len(diags), len(lint.Analyzers()))
+	}
+}
+
+// TestFixtureGolden pins the exact positions and messages.
+func TestFixtureGolden(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/fixture")
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	want, err := os.ReadFile("testdata/fixture.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("diagnostics diverge from testdata/fixture.golden:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestMalformedAllowDirective: a //lint:allow without a reason is itself
+// reported and suppresses nothing.
+func TestMalformedAllowDirective(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/badallow")
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2 (lint-directive + unsuppressed panic)", len(diags), rules)
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		seen[r] = true
+	}
+	if !seen["lint-directive"] || !seen["panic-in-library"] {
+		t.Errorf("got rules %v, want lint-directive and panic-in-library", rules)
+	}
+}
+
+// TestModuleIsClean mirrors the repo-root gate from inside the package,
+// so `go test ./internal/lint` alone proves the tree is lint-clean.
+func TestModuleIsClean(t *testing.T) {
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Pkgs) < 15 {
+		t.Fatalf("module walk found only %d packages; loader is skipping code", len(mod.Pkgs))
+	}
+	for _, d := range lint.Run(mod, lint.DefaultConfig()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDefaultConfigScope guards the policy encoded in DefaultConfig.
+func TestDefaultConfigScope(t *testing.T) {
+	mod, err := lint.LoadDirs(".", []string{"testdata/src/fixture"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "parroute" {
+		t.Errorf("module path = %q, want parroute", mod.Path)
+	}
+	if len(mod.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(mod.Pkgs))
+	}
+	if got := mod.Pkgs[0].Path; got != "parroute/internal/lint/testdata/src/fixture" {
+		t.Errorf("fixture import path = %q", got)
+	}
+}

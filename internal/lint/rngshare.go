@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerRNGSharing guards the one concurrency rule of internal/rng: an
+// *rng.RNG is a single deterministic stream and is not safe for concurrent
+// use. Handing the same stream to a goroutine — by closure capture or as a
+// call argument — both races and destroys reproducibility (consumption
+// order then depends on scheduling). The fix is always the same: derive an
+// independent child stream with Split() and give the goroutine that.
+var analyzerRNGSharing = &Analyzer{
+	Name: "rng-sharing",
+	Doc:  "forbid sharing an *rng.RNG with a goroutine without Split()",
+	Run:  runRNGSharing,
+}
+
+func runRNGSharing(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, gs)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(p *Pass, gs *ast.GoStmt) {
+	info := p.Pkg.Info
+	// RNGs passed as arguments to the spawned call: only a fresh
+	// Split() result may cross the goroutine boundary.
+	for _, arg := range gs.Call.Args {
+		if !isRNGPtr(info.TypeOf(arg)) {
+			continue
+		}
+		if isSplitCall(p, arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "*rng.RNG passed to a goroutine: pass an independent stream from Split() instead")
+	}
+	// RNGs captured by a goroutine closure: any use of a stream declared
+	// outside the literal is sharing, except calling Split() on it.
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	splitRecvs := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Split" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			splitRecvs[id] = true
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || splitRecvs[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !isRNGPtr(obj.Type()) {
+			return true
+		}
+		if declaredWithin(obj, lit) {
+			return true
+		}
+		p.Reportf(id.Pos(), "goroutine captures *rng.RNG %s: give the goroutine its own stream via %s.Split()", id.Name, id.Name)
+		return true
+	})
+}
+
+// isSplitCall reports whether e has the shape x.Split().
+func isSplitCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Split" && isRNGPtr(p.Pkg.Info.TypeOf(sel.X))
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	file   string // module-root relative
+	line   int
+	rule   string
+	reason string
+	valid  bool
+}
+
+// parseAllows extracts every //lint:allow directive from the module's
+// loaded files.
+func parseAllows(mod *Module) []allowDirective {
+	var out []allowDirective
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // /* */ comments cannot carry directives
+					}
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "lint:allow")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					file := pos.Filename
+					if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+						file = filepath.ToSlash(rel)
+					}
+					d := allowDirective{file: file, line: pos.Line}
+					fields := strings.Fields(rest)
+					if len(fields) >= 2 {
+						d.rule = fields[0]
+						d.reason = strings.Join(fields[1:], " ")
+						d.valid = true
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows drops diagnostics covered by a valid //lint:allow on the
+// same line or the line directly above, and reports malformed directives
+// under the "lint-directive" rule.
+func applyAllows(mod *Module, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	allowed := map[key]bool{}
+	var out []Diagnostic
+	for _, d := range parseAllows(mod) {
+		if !d.valid {
+			out = append(out, Diagnostic{
+				File: d.file, Line: d.line, Col: 1, Rule: "lint-directive",
+				Msg: "malformed directive: want //lint:allow <rule> <reason>",
+			})
+			continue
+		}
+		allowed[key{d.file, d.line, d.rule}] = true
+		allowed[key{d.file, d.line + 1, d.rule}] = true
+	}
+	for _, d := range diags {
+		if allowed[key{d.File, d.Line, d.Rule}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerSyncByValue catches copies of sync primitives — the mistake that
+// silently forks a mutex or waitgroup so two goroutines no longer
+// synchronize on the same state. It flags value receivers on
+// lock-containing types, lock-containing parameters and results passed by
+// value, and assignments or call arguments that copy an existing
+// lock-containing value. Composite literals and address-taking are fine:
+// they initialize rather than copy.
+var analyzerSyncByValue = &Analyzer{
+	Name: "sync-by-value",
+	Doc:  "forbid copying sync.Mutex/WaitGroup/Once (and structs containing them)",
+	Run:  runSyncByValue,
+}
+
+func runSyncByValue(p *Pass) {
+	seen := map[types.Type]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldCopies(p, seen, n.Recv, "receiver")
+				}
+				checkFieldCopies(p, seen, n.Type.Params, "parameter")
+				checkFieldCopies(p, seen, n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldCopies(p, seen, n.Type.Params, "parameter")
+				checkFieldCopies(p, seen, n.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if copiesLockValue(p, seen, rhs) {
+						p.Reportf(rhs.Pos(), "assignment copies lock value: %s contains a sync primitive", p.Pkg.Info.TypeOf(rhs))
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					if copiesLockValue(p, seen, arg) {
+						p.Reportf(arg.Pos(), "call argument copies lock value: %s contains a sync primitive", p.Pkg.Info.TypeOf(arg))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldCopies flags fields (receivers, params, results) whose
+// by-value type contains a lock.
+func checkFieldCopies(p *Pass, seen map[types.Type]bool, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if t != nil && containsLock(t, seen) {
+			p.Reportf(field.Pos(), "%s passes lock by value: %s contains a sync primitive (use a pointer)", kind, t)
+		}
+	}
+}
+
+// copiesLockValue reports whether e reads an existing lock-containing
+// value (so that using it as an assignment source or call argument copies
+// the lock).
+func copiesLockValue(p *Pass, seen map[types.Type]bool, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false // literals, calls, &x, conversions: no copy of an existing lock
+	}
+	t := p.Pkg.Info.TypeOf(e)
+	return t != nil && containsLock(t, seen)
+}
+
+// lockTypes are the sync primitives that must never be copied after first
+// use.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t (passed by value) transitively contains
+// one of the sync primitives. seen memoizes and breaks cycles.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if got, ok := seen[t]; ok {
+		return got
+	}
+	seen[t] = false // tentatively, to terminate recursive types
+	result := false
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			result = true
+		} else {
+			result = containsLock(t.Underlying(), seen)
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsLock(t.Elem(), seen)
+	}
+	seen[t] = result
+	return result
+}

@@ -1,0 +1,9 @@
+// Package badallow exercises directive validation: the //lint:allow below
+// is missing its reason, so it must be reported as malformed and must not
+// suppress the panic diagnostic.
+package badallow
+
+// Explode should still be flagged: its directive is incomplete.
+func Explode() {
+	panic("badallow: boom") //lint:allow panic-in-library
+}

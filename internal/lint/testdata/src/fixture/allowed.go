@@ -1,0 +1,61 @@
+package fixture
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	_ "math/rand" //lint:allow nondeterminism fixture: suppressed forbidden import
+
+	"parroute/internal/mp"
+	"parroute/internal/rng"
+)
+
+// Every pattern below mirrors a violation in fixture.go but carries a
+// //lint:allow directive; the golden test asserts none of them fire.
+
+func StampAllowed() int64 {
+	return time.Now().UnixNano() //lint:allow nondeterminism fixture: suppressed wall-clock read
+}
+
+func KeysAllowed(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) //lint:allow nondeterminism fixture: suppressed map-order append
+	}
+	return out
+}
+
+func ShareAllowed(r *rng.RNG, out chan<- uint64) {
+	go func() {
+		out <- r.Uint64() //lint:allow rng-sharing fixture: suppressed shared stream
+	}()
+}
+
+type plainCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+//lint:allow sync-by-value fixture: suppressed mutex copy
+func (c plainCounter) BumpAllowed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func SyncAllowed(c mp.Comm) {
+	c.Barrier() //lint:allow unchecked-error fixture: suppressed dropped error
+}
+
+func DescribeAllowed(err error) error {
+	return fmt.Errorf("routing failed: %v", err) //lint:allow error-wrap fixture: suppressed unwrapped error
+}
+
+func MustAllowed(n int) int {
+	if n <= 0 {
+		panic("fixture: invariant") //lint:allow panic-in-library fixture: suppressed invariant panic
+	}
+	return n
+}

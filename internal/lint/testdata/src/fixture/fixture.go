@@ -1,0 +1,61 @@
+// Package fixture contains exactly one intentional violation per
+// parroutecheck analyzer. The golden test in internal/lint asserts each
+// rule fires exactly once here; allowed.go holds the same patterns
+// suppressed with //lint:allow.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"parroute/internal/mp"
+	"parroute/internal/rng"
+)
+
+// Stamp violates nondeterminism: a wall-clock read outside the timing
+// allowlist.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Share violates rng-sharing: the goroutine captures the parent's stream
+// instead of receiving a Split() child.
+func Share(r *rng.RNG, out chan<- uint64) {
+	go func() {
+		out <- r.Uint64()
+	}()
+}
+
+// lockedCounter's value receiver violates sync-by-value: every Bump call
+// copies mu, so callers never contend on the same lock.
+type lockedCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c lockedCounter) Bump() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// Sync violates unchecked-error: a dropped transport error turns a failed
+// barrier into silent corruption.
+func Sync(c mp.Comm) {
+	c.Barrier()
+}
+
+// Describe violates error-wrap: %v flattens the cause.
+func Describe(err error) error {
+	return fmt.Errorf("routing failed: %v", err)
+}
+
+// MustPositive violates panic-in-library.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("fixture: n must be positive")
+	}
+	return n
+}

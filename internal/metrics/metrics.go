@@ -35,7 +35,7 @@ type Wire struct {
 // It panics for non-switchable wires.
 func (w *Wire) OtherChannel() int {
 	if !w.Switchable {
-		panic("metrics: OtherChannel on non-switchable wire")
+		panic("metrics: OtherChannel on non-switchable wire") //lint:allow panic-in-library documented contract: callers filter on Switchable
 	}
 	if w.Channel == w.Row {
 		return w.Row + 1
@@ -59,7 +59,10 @@ func ChannelDensities(numChannels int, wires []Wire) []int {
 			continue
 		}
 		if w.Channel < 0 || w.Channel >= numChannels {
-			panic(fmt.Sprintf("metrics: wire in channel %d of %d", w.Channel, numChannels))
+			// A wire outside the channel range means a router bug, not bad
+			// input: every step that produces wires clamps to the circuit's
+			// channels.
+			panic(fmt.Sprintf("metrics: wire in channel %d of %d", w.Channel, numChannels)) //lint:allow panic-in-library router invariant: wires are produced in range
 		}
 		evs[w.Channel] = append(evs[w.Channel],
 			event{w.Span.Lo, +1}, event{w.Span.Hi + 1, -1})

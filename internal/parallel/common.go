@@ -253,7 +253,9 @@ func syncBoundaryOccupancy(comm mp.Comm, blocks []partition.RowBlock, occ *route
 		if !ok {
 			return fmt.Errorf("parallel: boundary counts from rank %d arrived as %T", rank-1, raw)
 		}
-		occ.AddChannelCounts(blocks[rank].Lo, counts)
+		if err := occ.AddChannelCounts(blocks[rank].Lo, counts); err != nil {
+			return err
+		}
 	}
 	if rank+1 < comm.Size() {
 		raw, err := comm.Recv(rank+1, tagBoundaryLo)
@@ -264,7 +266,9 @@ func syncBoundaryOccupancy(comm mp.Comm, blocks []partition.RowBlock, occ *route
 		if !ok {
 			return fmt.Errorf("parallel: boundary counts from rank %d arrived as %T", rank+1, raw)
 		}
-		occ.AddChannelCounts(blocks[rank+1].Lo, counts)
+		if err := occ.AddChannelCounts(blocks[rank+1].Lo, counts); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"parroute/internal/gen"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/route"
+)
+
+// resultBytes serializes a result with the wall-clock fields zeroed:
+// Elapsed and Phases are measurements of the host machine, everything
+// else is routing output and must be reproducible bit for bit.
+func resultBytes(t *testing.T, res *metrics.Result) []byte {
+	t.Helper()
+	res.Elapsed = 0
+	res.Phases = nil
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicMetricsAcrossRuns is the regression test the
+// parroutecheck rules exist to protect: routing the same circuit with the
+// same seed must produce byte-identical metrics JSON on every run, for
+// every algorithm and every worker count — under the Inproc engine, where
+// goroutines really race for the scheduler. Only per-worker rng streams
+// (rng.Split), rank-ordered merges, and sorted map walks make this hold.
+func TestDeterministicMetricsAcrossRuns(t *testing.T) {
+	c := gen.Small(42)
+	for _, algo := range Algorithms() {
+		for _, procs := range []int{1, 2, 4} {
+			var first []byte
+			for run := 0; run < 2; run++ {
+				res, err := Run(c, Options{
+					Algo:  algo,
+					Procs: procs,
+					Mode:  mp.Inproc,
+					Route: route.Options{Seed: 7},
+				})
+				if err != nil {
+					t.Fatalf("%v procs=%d run=%d: %v", algo, procs, run, err)
+				}
+				blob := resultBytes(t, res)
+				if run == 0 {
+					first = blob
+					continue
+				}
+				if !bytes.Equal(first, blob) {
+					t.Errorf("%v procs=%d: run 2 metrics JSON differs from run 1 (len %d vs %d)",
+						algo, procs, len(first), len(blob))
+				}
+			}
+		}
+	}
+}

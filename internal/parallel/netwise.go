@@ -350,6 +350,5 @@ func allreduceOcc(comm mp.Comm, own, shared *route.Occupancy) error {
 	if err != nil {
 		return err
 	}
-	shared.SetCounts(counts)
-	return nil
+	return shared.SetCounts(counts)
 }

@@ -56,7 +56,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic("rng: Intn with non-positive n") //lint:allow panic-in-library documented contract mirroring math/rand.Intn
 	}
 	// Lemire's multiply-shift rejection method: unbiased and division-free
 	// in the common case.
@@ -135,7 +135,7 @@ func (r *RNG) NormInt(mean, stddev float64, min int) int {
 // It panics unless 0 < p <= 1.
 func (r *RNG) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
-		panic("rng: Geometric needs 0 < p <= 1")
+		panic("rng: Geometric needs 0 < p <= 1") //lint:allow panic-in-library documented contract mirroring math/rand conventions
 	}
 	n := 0
 	for r.Float64() >= p {

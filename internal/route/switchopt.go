@@ -23,7 +23,9 @@ type Occupancy struct {
 // NewOccupancy returns an empty occupancy table.
 func NewOccupancy(channels, coreWidth, colWidth int) *Occupancy {
 	if colWidth <= 0 {
-		panic(fmt.Sprintf("route: occupancy colWidth %d must be positive", colWidth))
+		// Constructor contract: a non-positive quantum is a caller bug,
+		// never a data condition (Options.Normalize enforces it upstream).
+		panic(fmt.Sprintf("route: occupancy colWidth %d must be positive", colWidth)) //lint:allow panic-in-library documented constructor invariant
 	}
 	cols := (geom.Max(coreWidth, 1) + colWidth - 1) / colWidth
 	return &Occupancy{Channels: channels, Cols: cols, ColWidth: colWidth,
@@ -60,15 +62,18 @@ func (o *Occupancy) ChannelCounts(ch int) []int32 {
 	return append([]int32(nil), o.occ[ch*o.Cols:(ch+1)*o.Cols]...)
 }
 
-// AddChannelCounts adds externally supplied column counts into channel ch.
-func (o *Occupancy) AddChannelCounts(ch int, counts []int32) {
+// AddChannelCounts adds externally supplied column counts into channel
+// ch. The counts arrive from other workers over the transport, so a
+// length mismatch is a data error reported to the caller, not a panic.
+func (o *Occupancy) AddChannelCounts(ch int, counts []int32) error {
 	if len(counts) != o.Cols {
-		panic(fmt.Sprintf("route: channel counts length %d, want %d", len(counts), o.Cols))
+		return fmt.Errorf("route: channel counts length %d, want %d", len(counts), o.Cols)
 	}
 	base := ch * o.Cols
 	for col, v := range counts {
 		o.occ[base+col] += v
 	}
+	return nil
 }
 
 // Counts returns a copy of all column counts (channel-major), the payload
@@ -77,12 +82,15 @@ func (o *Occupancy) Counts() []int32 {
 	return append([]int32(nil), o.occ...)
 }
 
-// SetCounts replaces all column counts; len(counts) must match.
-func (o *Occupancy) SetCounts(counts []int32) {
+// SetCounts replaces all column counts. Like AddChannelCounts, the
+// payload crosses the transport, so a length mismatch is a returned
+// error.
+func (o *Occupancy) SetCounts(counts []int32) error {
 	if len(counts) != len(o.occ) {
-		panic(fmt.Sprintf("route: occupancy counts length %d, want %d", len(counts), len(o.occ)))
+		return fmt.Errorf("route: occupancy counts length %d, want %d", len(counts), len(o.occ))
 	}
 	copy(o.occ, counts)
+	return nil
 }
 
 // maxWeight scales the peak-density component of MoveCost above any

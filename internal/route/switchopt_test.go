@@ -30,7 +30,9 @@ func TestOccupancyChannelCountsExchange(t *testing.T) {
 	b := NewOccupancy(3, 160, 16)
 	a.Add(2, geom.NewInterval(16, 47), 1)
 	counts := a.ChannelCounts(2)
-	b.AddChannelCounts(2, counts)
+	if err := b.AddChannelCounts(2, counts); err != nil {
+		t.Fatal(err)
+	}
 	if b.At(2, 1) != 1 || b.At(2, 2) != 1 || b.At(2, 0) != 0 {
 		t.Fatal("channel counts exchange broken")
 	}
@@ -45,7 +47,9 @@ func TestOccupancyCountsSetCounts(t *testing.T) {
 	a := NewOccupancy(2, 64, 16)
 	a.Add(0, geom.NewInterval(0, 63), 1)
 	b := NewOccupancy(2, 64, 16)
-	b.SetCounts(a.Counts())
+	if err := b.SetCounts(a.Counts()); err != nil {
+		t.Fatal(err)
+	}
 	for col := 0; col < 4; col++ {
 		if b.At(0, col) != 1 {
 			t.Fatal("SetCounts did not copy")
@@ -53,13 +57,13 @@ func TestOccupancyCountsSetCounts(t *testing.T) {
 	}
 }
 
-func TestOccupancySetCountsLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch should panic")
-		}
-	}()
-	NewOccupancy(2, 64, 16).SetCounts([]int32{1})
+func TestOccupancySetCountsLengthMismatch(t *testing.T) {
+	if err := NewOccupancy(2, 64, 16).SetCounts([]int32{1}); err == nil {
+		t.Fatal("length mismatch should be reported")
+	}
+	if err := NewOccupancy(2, 64, 16).AddChannelCounts(0, []int32{1}); err == nil {
+		t.Fatal("channel counts length mismatch should be reported")
+	}
 }
 
 func TestMoveCostPrefersEmptierChannel(t *testing.T) {

@@ -1,0 +1,26 @@
+package parroute_test
+
+import (
+	"testing"
+
+	"parroute/internal/lint"
+)
+
+// TestParroutecheckClean is the tier-1 lint gate: every package of the
+// module must pass the parroutecheck suite (the same rules `go run
+// ./cmd/parroutecheck ./...` enforces). A failure here means either a
+// real determinism/concurrency hazard or a missing //lint:allow
+// annotation; see DESIGN.md's "Static analysis" section for the policy.
+func TestParroutecheckClean(t *testing.T) {
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(mod, lint.DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate deliberate exceptions with //lint:allow <rule> <reason>")
+	}
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate: build, vet, the project's own static-analysis suite
+# (determinism + concurrency hygiene; see DESIGN.md §6), and the tests
+# under the race detector. Tier-1 (`go build ./... && go test ./...`) is a
+# subset; run this before merging anything that touches routing or
+# transport code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== parroutecheck ./..."
+go run ./cmd/parroutecheck ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
