@@ -1,21 +1,26 @@
 // Command parroutecheck runs this repository's static-analysis suite: the
-// determinism and concurrency-hygiene rules in internal/lint that the
-// parallel routing algorithms depend on.
+// determinism, concurrency-hygiene, and message-passing protocol rules in
+// internal/lint that the parallel routing algorithms depend on.
 //
 // Usage:
 //
-//	parroutecheck [packages]
+//	parroutecheck [-json] [-list] [packages]
 //
 // With no arguments or "./..." it checks every package of the module
 // containing the working directory. Explicit package directories (for
 // example ./internal/lint/testdata/src/fixture) are checked even when they
 // live under testdata, which the module walk skips.
 //
+// -list prints the registered rules with their one-line docs and exits.
+// -json emits diagnostics as a JSON array on stdout (empty array when
+// clean) for CI and editor integration; -list also honors it.
+//
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 when the
 // module could not be loaded or type-checked.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,18 +29,44 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	listRules := flag.Bool("list", false, "print the registered rules and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parroutecheck [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: parroutecheck [-json] [-list] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Checks the module (./...) or explicit package directories.\nRules:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args()))
+	if *listRules {
+		os.Exit(list(*jsonOut))
+	}
+	os.Exit(run(flag.Args(), *jsonOut))
 }
 
-func run(args []string) int {
+// ruleInfo is the -list -json record for one analyzer.
+type ruleInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+func list(jsonOut bool) int {
+	analyzers := lint.Analyzers()
+	if jsonOut {
+		rules := make([]ruleInfo, 0, len(analyzers))
+		for _, a := range analyzers {
+			rules = append(rules, ruleInfo{Name: a.Name, Doc: a.Doc})
+		}
+		return emitJSON(rules)
+	}
+	for _, a := range analyzers {
+		fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+	}
+	return 0
+}
+
+func run(args []string, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
@@ -69,12 +100,32 @@ func run(args []string) int {
 		}
 		diags = append(diags, lint.Run(mod, cfg)...)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if rc := emitJSON(diags); rc != 0 {
+			return rc
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "parroutecheck: %d diagnostic(s)\n", len(diags))
 		return 1
+	}
+	return 0
+}
+
+// emitJSON writes v indented to stdout.
+func emitJSON(v any) int {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
+		return 2
 	}
 	return 0
 }

@@ -1,0 +1,78 @@
+package lint
+
+// A generic forward-dataflow worklist solver over the CFGs of cfg.go.
+// Clients supply the lattice as three functions (join, transfer,
+// equality); the solver iterates to a fixpoint. Back edges participate in
+// the iteration — loop-carried facts converge because every client
+// lattice in this package has finite height — but the solver caps the
+// number of visits per block as a defensive bound against a
+// non-converging client.
+
+// Flow is the client-supplied lattice and transfer for one analysis.
+type Flow[F any] interface {
+	// Bottom is the fact at function entry.
+	Bottom() F
+	// Join combines facts arriving over two predecessor edges. It must be
+	// monotone and commutative.
+	Join(a, b F) F
+	// Transfer pushes in through block b (its Stmts, then its Cond read)
+	// and returns the fact on b's outgoing edges. It must not mutate in.
+	Transfer(b *Block, in F) F
+	// Equal reports fact equality; the solver stops when nothing changes.
+	Equal(a, b F) bool
+}
+
+// FlowResult holds the converged facts per block.
+type FlowResult[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// maxVisitsPerBlock bounds the worklist iteration. With a lattice of
+// height h the solver needs at most h visits per block; rank-taint has
+// height ≤ 3 per variable. 64 leaves generous slack while still
+// terminating on a buggy client.
+const maxVisitsPerBlock = 64
+
+// SolveForward runs the worklist algorithm from g.Entry and returns the
+// per-block in/out facts.
+func SolveForward[F any](g *CFG, fl Flow[F]) *FlowResult[F] {
+	res := &FlowResult[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	visits := map[*Block]int{}
+	seeded := map[*Block]bool{}
+
+	res.In[g.Entry] = fl.Bottom()
+	seeded[g.Entry] = true
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		if visits[b]++; visits[b] > maxVisitsPerBlock {
+			continue
+		}
+		out := fl.Transfer(b, res.In[b])
+		if old, ok := res.Out[b]; ok && fl.Equal(old, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, succ := range append(append([]*Block{}, b.Succs...), b.Back...) {
+			next := out
+			if seeded[succ] {
+				next = fl.Join(res.In[succ], out)
+				if fl.Equal(next, res.In[succ]) {
+					continue
+				}
+			}
+			res.In[succ] = next
+			seeded[succ] = true
+			if !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+	return res
+}

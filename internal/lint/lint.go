@@ -29,11 +29,11 @@ import (
 // Diagnostic is one finding at one source position. File is relative to
 // the module root, with forward slashes.
 type Diagnostic struct {
-	File string
-	Line int
-	Col  int
-	Rule string
-	Msg  string
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
 func (d Diagnostic) String() string {
@@ -146,6 +146,9 @@ func Analyzers() []*Analyzer {
 		analyzerUncheckedError,
 		analyzerErrorWrap,
 		analyzerPanicInLibrary,
+		analyzerCollectiveCongruence,
+		analyzerTagDiscipline,
+		analyzerSendRecvPairing,
 	}
 }
 

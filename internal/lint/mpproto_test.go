@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"parroute/internal/lint"
+)
+
+// ruleCounts tallies diagnostics by rule name.
+func ruleCounts(diags []lint.Diagnostic) map[string]int {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Rule]++
+	}
+	return counts
+}
+
+// TestSeededRankGatedBarrierCaught is the static half of the seeded
+// regression from the issue: a Barrier moved inside a c.Rank()==0 branch
+// (and the same bug hidden behind a collective helper) must be flagged by
+// collective-congruence. TestVirtualRankGatedBarrierDeadlocks in
+// internal/mp is the dynamic half.
+func TestSeededRankGatedBarrierCaught(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/seeded")
+	counts := ruleCounts(diags)
+	if counts["collective-congruence"] != 2 {
+		t.Errorf("collective-congruence fired %d times, want 2 (direct barrier + helper gather)", counts["collective-congruence"])
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Msg, "rank-derived condition") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}
+
+// TestOrphanTagsReported covers the module-wide half of tag-discipline:
+// sent-never-received, received-never-sent, and declared-never-used tags
+// each produce exactly one diagnostic at the constant's declaration.
+func TestOrphanTagsReported(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/orphan")
+	if got := ruleCounts(diags)["tag-discipline"]; got != 3 || len(diags) != 3 {
+		t.Fatalf("got %d diagnostics (%d tag-discipline), want exactly 3 tag-discipline: %v",
+			len(diags), got, diags)
+	}
+	wantSubstrings := map[string]string{
+		"tagOnlySent": "never received",
+		"tagOnlyRecv": "never sent",
+		"tagUnused":   "never used",
+	}
+	for tag, substr := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Msg, tag) && strings.Contains(d.Msg, substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic for %s containing %q in %v", tag, substr, diags)
+		}
+	}
+}
+
+// TestSelfSendPairing covers the self-peer half of send-recv-pairing: a
+// self-send with a matching self-Recv on the same tag (Echo) passes, an
+// unmatched one (Lost) is flagged.
+func TestSelfSendPairing(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/selfsend")
+	if got := ruleCounts(diags)["send-recv-pairing"]; got != 1 || len(diags) != 1 {
+		t.Fatalf("got %d diagnostics (%d send-recv-pairing), want exactly 1: %v",
+			len(diags), got, diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Msg, "own rank") || !strings.Contains(d.Msg, "tagLoop") {
+		t.Errorf("unexpected message: %s", d)
+	}
+}

@@ -1,0 +1,23 @@
+// Package orphan exercises the module-wide half of tag-discipline: every
+// named tag constant must have both a send site and a recv site. Each of
+// the three constants below violates it a different way.
+package orphan
+
+import "parroute/internal/mp"
+
+const (
+	tagOnlySent = 10 // sent by Push, never received anywhere
+	tagOnlyRecv = 11 // received by Pull, never sent anywhere
+	tagUnused   = 12 // declared, never used at all
+)
+
+// Push sends tagOnlySent to a fixed peer; no Recv ever drains it.
+func Push(c mp.Comm, v any) error {
+	return c.Send(1, tagOnlySent, v)
+}
+
+// Pull receives tagOnlyRecv; no Send ever produces it, so it blocks
+// forever.
+func Pull(c mp.Comm) (any, error) {
+	return c.Recv(0, tagOnlyRecv)
+}

@@ -1,0 +1,35 @@
+// Package selfsend exercises the self-peer half of send-recv-pairing:
+// a Send whose destination is provably the caller's own rank must have a
+// matching self-Recv on the same tag in the same function (Echo, legal),
+// otherwise the message sits in the mailbox forever (Lost, flagged).
+package selfsend
+
+import "parroute/internal/mp"
+
+const (
+	tagSelf = 20 // Echo's legal self-send/self-recv pair
+	tagLoop = 21 // sent by Lost, drained by Sink
+)
+
+// Echo stages a value through the caller's own mailbox: self-send plus
+// matching self-Recv on the same tag, which the rule accepts.
+func Echo(c mp.Comm, v any) (any, error) {
+	me := c.Rank()
+	if err := c.Send(me, tagSelf, v); err != nil {
+		return nil, err
+	}
+	return c.Recv(me, tagSelf)
+}
+
+// Lost sends to the caller's own rank with no matching self-Recv: the
+// rank-taint dataflow proves `me` is exactly Rank() and flags the Send.
+func Lost(c mp.Comm, v any) error {
+	me := c.Rank()
+	return c.Send(me, tagLoop, v)
+}
+
+// Sink drains tagLoop from a fixed peer, keeping the tag paired
+// module-wide so only the pairing rule fires in this package.
+func Sink(c mp.Comm) (any, error) {
+	return c.Recv(0, tagLoop)
+}

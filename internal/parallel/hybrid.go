@@ -95,7 +95,7 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	for k := range vs {
 		vs[k] = WireBatch{Wires: outWires[k]}
 	}
-	in, err = mp.Alltoall(comm, tagWires+1000, vs)
+	in, err = mp.Alltoall(comm, tagWiresRedist, vs)
 	if err != nil {
 		return err
 	}

@@ -20,7 +20,9 @@ const (
 	tagGridSync
 	tagOccSync
 	tagWidths
-	tagForced
+	tagWiresRedist
+	tagCoarseVote
+	tagSwitchVote
 )
 
 // FakePinSpec asks a block worker to add a fake pin for a net at a

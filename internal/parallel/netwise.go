@@ -99,7 +99,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 			return err
 		}
 		coarseFlips += passFlips
-		globalFlips, err := mp.AllreduceInt(comm, tagGridSync+1, passFlips, mp.SumInt)
+		globalFlips, err := mp.AllreduceInt(comm, tagCoarseVote, passFlips, mp.SumInt)
 		if err != nil {
 			return err
 		}
@@ -280,7 +280,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 			return err
 		}
 		switchFlips += passFlips
-		globalFlips, err := mp.AllreduceInt(comm, tagOccSync+1, passFlips, mp.SumInt)
+		globalFlips, err := mp.AllreduceInt(comm, tagSwitchVote, passFlips, mp.SumInt)
 		if err != nil {
 			return err
 		}

@@ -1,22 +1,32 @@
 #!/usr/bin/env bash
 # The full CI gate: build, vet, the project's own static-analysis suite
-# (determinism + concurrency hygiene; see DESIGN.md §6), and the tests
-# under the race detector. Tier-1 (`go build ./... && go test ./...`) is a
-# subset; run this before merging anything that touches routing or
-# transport code.
+# (determinism + concurrency hygiene + mpproto protocol rules; see
+# DESIGN.md §6–§7), and the tests under the race detector. Tier-1
+# (`go build ./... && go test ./...`) is a subset; run this before merging
+# anything that touches routing or transport code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
-go build ./...
+fail() {
+  echo "== FAIL: $1"
+  echo "check.sh: FAILED"
+  exit 1
+}
 
-echo "== go vet ./..."
-go vet ./...
+step() {
+  local name="$1"
+  shift
+  echo "== RUN : $name"
+  if "$@"; then
+    echo "== PASS: $name"
+  else
+    fail "$name"
+  fi
+}
 
-echo "== parroutecheck ./..."
-go run ./cmd/parroutecheck ./...
-
-echo "== go test -race ./..."
-go test -race ./...
+step "go build ./..." go build ./...
+step "go vet ./..." go vet ./...
+step "parroutecheck ./..." go run ./cmd/parroutecheck ./...
+step "go test -race ./..." go test -race ./...
 
 echo "check.sh: all gates passed"
