@@ -42,6 +42,9 @@ func main() {
 		out      = flag.String("out", "", "write the routing result (wires + quality numbers) as JSON")
 		verify   = flag.Bool("verify", false, "check routing invariants after the run (serial algorithm only)")
 		verbose  = flag.Bool("v", false, "print per-phase timings")
+
+		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan for the parallel algorithms, e.g. drop=0.05,delay=0.1,crash=1@25 (see mp.ParsePlan)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed of the deterministic fault schedule")
 	)
 	flag.Parse()
 
@@ -84,6 +87,17 @@ func main() {
 	}
 	if !found {
 		fatalf("unknown net partition %q", *method)
+	}
+	if *chaosPlan != "" {
+		plan, err := mp.ParsePlan(*chaosPlan)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		plan.Seed = *chaosSeed
+		opts.Chaos = &plan
+		if *algo == "serial" {
+			fatalf("-chaos-plan applies to the parallel algorithms (serial has no transport)")
+		}
 	}
 
 	if *algo == "all" {
@@ -218,6 +232,12 @@ func report(res *metrics.Result, verbose bool) {
 	fmt.Printf("  switchable:   %d wires, %d flips\n", res.SwitchableWires, res.SwitchFlips)
 	if res.ForcedEdges > 0 {
 		fmt.Printf("  WARNING: %d forced edges (connectivity gaps)\n", res.ForcedEdges)
+	}
+	if res.Degraded {
+		fmt.Printf("  DEGRADED: a rank was lost mid-phase; this is the serial fallback result\n")
+	}
+	if res.Faults != nil {
+		fmt.Printf("  faults:       %v\n", res.Faults)
 	}
 	if verbose {
 		for _, ph := range res.Phases {

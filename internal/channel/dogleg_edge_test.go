@@ -1,0 +1,143 @@
+package channel
+
+// Edge cases of the dogleg splitter and router: empty spans, contacts
+// exactly at span endpoints, duplicate contact columns, and empty
+// channels. SplitDoglegs feeds pieces straight into the left-edge packer,
+// so every degenerate shape must keep the span-tiling invariant (pieces
+// exactly cover the original span) or the jog accounting breaks.
+
+import (
+	"testing"
+
+	"parroute/internal/geom"
+)
+
+func TestSplitDoglegsEmptySpan(t *testing.T) {
+	// An empty span (Hi < Lo) carries no horizontal extent; it must pass
+	// through as a single piece, never be tiled.
+	wires := []Wire{
+		{Net: 0, Span: geom.Interval{Lo: 5, Hi: 4}, Top: []int{5}},
+		{Net: 1, Span: iv(0, 10), Top: []int{4}},
+	}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 3 {
+		t.Fatalf("%d pieces, want 1 (empty) + 2 (split)", len(pieces))
+	}
+	if !pieces[0].Span.Empty() || pieces[0].Owner != 0 {
+		t.Fatalf("empty-span wire mangled: %+v", pieces[0])
+	}
+	if pieces[1].Owner != 1 || pieces[2].Owner != 1 {
+		t.Fatalf("owners: %d, %d", pieces[1].Owner, pieces[2].Owner)
+	}
+}
+
+func TestSplitDoglegsContactsAtEndpoints(t *testing.T) {
+	// Contacts exactly at Lo and Hi are not interior: no split.
+	wires := []Wire{{Net: 0, Span: iv(3, 9), Top: []int{3, 9}, Bottom: []int{3}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 1 {
+		t.Fatalf("endpoint contacts split the wire into %d pieces", len(pieces))
+	}
+	if len(pieces[0].Top) != 2 || len(pieces[0].Bottom) != 1 {
+		t.Fatalf("contacts lost: %+v", pieces[0])
+	}
+}
+
+func TestSplitDoglegsDuplicateCutColumns(t *testing.T) {
+	// The same interior column on both edges (and repeated on one edge)
+	// must produce exactly one cut, not zero-width pieces.
+	wires := []Wire{{Net: 0, Span: iv(0, 10), Top: []int{5, 5}, Bottom: []int{5}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 2 {
+		t.Fatalf("%d pieces, want 2", len(pieces))
+	}
+	if pieces[0].Span != iv(0, 4) || pieces[1].Span != iv(5, 10) {
+		t.Fatalf("spans: %v, %v", pieces[0].Span, pieces[1].Span)
+	}
+	if len(pieces[1].Top) != 2 || len(pieces[1].Bottom) != 1 {
+		t.Fatalf("duplicate contacts lost: %+v", pieces[1])
+	}
+}
+
+func TestSplitDoglegsAdjacentCuts(t *testing.T) {
+	// Interior cuts at consecutive columns produce a single-column piece
+	// in between; the tiling must stay disjoint and exhaustive.
+	wires := []Wire{{Net: 0, Span: iv(0, 10), Top: []int{4}, Bottom: []int{5}}}
+	pieces := SplitDoglegs(wires)
+	if len(pieces) != 3 {
+		t.Fatalf("%d pieces, want 3", len(pieces))
+	}
+	want := []geom.Interval{iv(0, 3), iv(4, 4), iv(5, 10)}
+	for i, w := range want {
+		if pieces[i].Span != w {
+			t.Fatalf("piece %d span %v, want %v", i, pieces[i].Span, w)
+		}
+	}
+}
+
+func TestRouteDoglegEmptyChannel(t *testing.T) {
+	sum := RouteDogleg(nil)
+	if sum.Tracks != 0 || sum.Pieces != 0 || sum.Doglegs != 0 || sum.BrokenConstraints != 0 {
+		t.Fatalf("empty channel summary %+v, want zeros", sum)
+	}
+}
+
+func TestRouteDoglegOnlyEmptySpans(t *testing.T) {
+	// All-empty spans occupy no tracks and count no pieces.
+	wires := []Wire{
+		{Net: 0, Span: geom.Interval{Lo: 2, Hi: 1}},
+		{Net: 1, Span: geom.Interval{Lo: 8, Hi: 7}},
+	}
+	sum := RouteDogleg(wires)
+	if sum.Tracks != 0 || sum.Pieces != 0 || sum.Doglegs != 0 {
+		t.Fatalf("empty-span channel summary %+v, want zeros", sum)
+	}
+}
+
+func TestRouteDoglegSingleColumnWire(t *testing.T) {
+	// A one-column wire with a contact on each edge cannot be split and
+	// must occupy exactly one track.
+	wires := []Wire{{Net: 0, Span: iv(7, 7), Top: []int{7}, Bottom: []int{7}}}
+	sum := RouteDogleg(wires)
+	if sum.Tracks != 1 || sum.Pieces != 1 || sum.Doglegs != 0 {
+		t.Fatalf("single-column wire summary %+v", sum)
+	}
+}
+
+func TestRouteAllDoglegEmptyChannels(t *testing.T) {
+	byChannel := make([][]Wire, 4) // all channels empty
+	tracks, doglegs, broken := RouteAllDogleg(4, byChannel)
+	if tracks != 0 || doglegs != 0 || broken != 0 {
+		t.Fatalf("empty circuit totals %d/%d/%d, want zeros", tracks, doglegs, broken)
+	}
+}
+
+func TestSplitDoglegsTilingInvariant(t *testing.T) {
+	// Property: for any wire with extent, the pieces tile the span — the
+	// piece spans are disjoint, ordered, and their union is the original.
+	wires := []Wire{
+		{Net: 0, Span: iv(0, 100), Top: []int{1, 50, 99}, Bottom: []int{50, 2, 98}},
+		{Net: 1, Span: iv(10, 12), Top: []int{11}},
+		{Net: 2, Span: iv(4, 4)},
+	}
+	pieces := SplitDoglegs(wires)
+	byOwner := map[int][]Piece{}
+	for _, p := range pieces {
+		byOwner[p.Owner] = append(byOwner[p.Owner], p)
+	}
+	for owner, ps := range byOwner {
+		span := wires[owner].Span
+		next := span.Lo
+		covered := 0
+		for i, p := range ps {
+			if p.Span.Lo != next {
+				t.Fatalf("wire %d piece %d starts at %d, want %d", owner, i, p.Span.Lo, next)
+			}
+			next = p.Span.Hi + 1
+			covered += p.Span.Len()
+		}
+		if next != span.Hi+1 || covered != span.Len() {
+			t.Fatalf("wire %d pieces cover %d columns of %v", owner, covered, span)
+		}
+	}
+}

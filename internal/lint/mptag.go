@@ -2,10 +2,16 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 )
 
-// analyzerTagDiscipline enforces the second mpproto rule, in two parts:
+// mpPackagePath is the one package allowed to declare negative tag
+// constants: the engines own the reserved range (barrier rounds, chaos
+// bookkeeping) and reject user traffic on it at runtime.
+const mpPackagePath = "parroute/internal/mp"
+
+// analyzerTagDiscipline enforces the second mpproto rule, in three parts:
 //
 //   - Site discipline: every tag argument of Send/Recv/collective calls
 //     must be a named constant (the tagFakePins… family in
@@ -19,9 +25,14 @@ import (
 //     blocks forever; a tag never used at all is dead protocol surface.
 //     Calls are followed one level deep through module helpers whose
 //     parameters flow into tag positions.
+//   - Reserved range: user tag constants must be non-negative. The
+//     negative tag space belongs to the mp engines (tagBarrier and
+//     friends); a user constant straying into it collides with engine
+//     traffic, and the transport rejects it at runtime anyway.
 //
-// Orphans are reported at the constant's declaration, by the package that
-// declares it, so each fires exactly once per module run.
+// Orphans and reserved-range collisions are reported at the constant's
+// declaration, by the package that declares it, so each fires exactly
+// once per module run.
 var analyzerTagDiscipline = &Analyzer{
 	Name: "tag-discipline",
 	Doc:  "message tags must be named constants with both send and receive sites module-wide",
@@ -79,6 +90,12 @@ func checkOrphanTags(p *Pass, idx *protoIndex, f *ast.File) {
 				obj, ok := info.Defs[name].(*types.Const)
 				if !ok {
 					continue
+				}
+				if isTagName(name.Name) && isIntegerConst(obj) &&
+					constant.Sign(obj.Val()) < 0 && p.Pkg.Path != mpPackagePath {
+					p.Reportf(name.Pos(),
+						"tag %s = %s collides with the engine-reserved negative tag range: user tags must be >= 0",
+						name.Name, obj.Val())
 				}
 				sites := idx.tags[obj]
 				switch {

@@ -94,3 +94,18 @@ func Drain(c mp.Comm) error {
 func Feed(c mp.Comm, to int, v any) error {
 	return c.Send(to, tagFixture, v)
 }
+
+// tagStolen violates the reserved-range half of tag-discipline: negative
+// tags belong to the mp engines. Steal and Restock pair it module-wide so
+// only the reserved-range diagnostic fires, not the orphan check.
+const tagStolen = -2
+
+// Restock sends tagStolen; Steal receives it.
+func Restock(c mp.Comm, to int, v any) error {
+	return c.Send(to, tagStolen, v)
+}
+
+// Steal receives tagStolen from the given rank.
+func Steal(c mp.Comm, from int) (any, error) {
+	return c.Recv(from, tagStolen)
+}

@@ -29,6 +29,10 @@ type jsonResult struct {
 	CoarseFlips     int         `json:"coarseFlips"`
 	ElapsedNS       int64       `json:"elapsedNs"`
 	Phases          []jsonPhase `json:"phases,omitempty"`
+	// Degraded is omitted when false so fault-free and non-degraded chaos
+	// runs stay byte-identical. Faults (see Result.Faults) never
+	// serialize, for the same reason.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type jsonWire struct {
@@ -58,7 +62,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Feedthroughs: r.Feedthroughs, ForcedEdges: r.ForcedEdges,
 		CoreWidth: r.CoreWidth, SwitchableWires: r.SwitchableWires,
 		SwitchFlips: r.SwitchFlips, CoarseFlips: r.CoarseFlips,
-		ElapsedNS: r.Elapsed.Nanoseconds(),
+		ElapsedNS: r.Elapsed.Nanoseconds(), Degraded: r.Degraded,
 	}
 	jr.Wires = make([]jsonWire, len(r.Wires))
 	for i := range r.Wires {
@@ -88,7 +92,7 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		Feedthroughs: jr.Feedthroughs, ForcedEdges: jr.ForcedEdges,
 		CoreWidth: jr.CoreWidth, SwitchableWires: jr.SwitchableWires,
 		SwitchFlips: jr.SwitchFlips, CoarseFlips: jr.CoarseFlips,
-		Elapsed: time.Duration(jr.ElapsedNS),
+		Elapsed: time.Duration(jr.ElapsedNS), Degraded: jr.Degraded,
 	}
 	r.Wires = make([]Wire, len(jr.Wires))
 	for i, jw := range jr.Wires {

@@ -16,19 +16,26 @@ func Bcast(c Comm, root, tag int, v any) (any, error) {
 				continue
 			}
 			if err := c.Send(r, tag, v); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mp: bcast to rank %d: %w", r, err)
 			}
 		}
 		return v, nil
 	}
-	return c.Recv(root, tag)
+	got, err := c.Recv(root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("mp: bcast from root %d: %w", root, err)
+	}
+	return got, nil
 }
 
 // Gather collects one value per rank at root. On root it returns a slice
 // indexed by rank (root's own contribution included); elsewhere nil.
 func Gather(c Comm, root, tag int, v any) ([]any, error) {
 	if c.Rank() != root {
-		return nil, c.Send(root, tag, v)
+		if err := c.Send(root, tag, v); err != nil {
+			return nil, fmt.Errorf("mp: gather to root %d: %w", root, err)
+		}
+		return nil, nil
 	}
 	out := make([]any, c.Size())
 	out[root] = v
@@ -38,7 +45,7 @@ func Gather(c Comm, root, tag int, v any) ([]any, error) {
 		}
 		got, err := c.Recv(r, tag)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mp: gather from rank %d: %w", r, err)
 		}
 		out[r] = got
 	}
@@ -116,7 +123,7 @@ func Alltoall(c Comm, tag int, vs []any) ([]any, error) {
 			continue
 		}
 		if err := c.Send(r, tag, vs[r]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mp: alltoall to rank %d: %w", r, err)
 		}
 	}
 	out := make([]any, c.Size())
@@ -127,7 +134,7 @@ func Alltoall(c Comm, tag int, vs []any) ([]any, error) {
 		}
 		got, err := c.Recv(r, tag)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mp: alltoall from rank %d: %w", r, err)
 		}
 		out[r] = got
 	}
@@ -203,12 +210,16 @@ func Scatter(c Comm, root, tag int, vs []any) (any, error) {
 				continue
 			}
 			if err := c.Send(r, tag, vs[r]); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mp: scatter to rank %d: %w", r, err)
 			}
 		}
 		return vs[root], nil
 	}
-	return c.Recv(root, tag)
+	got, err := c.Recv(root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("mp: scatter from root %d: %w", root, err)
+	}
+	return got, nil
 }
 
 // Scan computes the inclusive prefix combination in rank order: rank r
@@ -219,7 +230,7 @@ func Scan[T any](c Comm, tag int, v T, op func(a, b T) T) (T, error) {
 	if c.Rank() > 0 {
 		raw, err := c.Recv(c.Rank()-1, tag)
 		if err != nil {
-			return zero, err
+			return zero, fmt.Errorf("mp: scan from rank %d: %w", c.Rank()-1, err)
 		}
 		prev, ok := raw.(T)
 		if !ok {
@@ -229,7 +240,7 @@ func Scan[T any](c Comm, tag int, v T, op func(a, b T) T) (T, error) {
 	}
 	if c.Rank()+1 < c.Size() {
 		if err := c.Send(c.Rank()+1, tag, acc); err != nil {
-			return zero, err
+			return zero, fmt.Errorf("mp: scan to rank %d: %w", c.Rank()+1, err)
 		}
 	}
 	return acc, nil

@@ -3,6 +3,7 @@ package mp
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // The Inproc engine runs workers as truly concurrent goroutines with
@@ -11,6 +12,7 @@ import (
 
 type iMachine struct {
 	n       int
+	lim     Limits
 	boxes   []*mailbox
 	barrier *reusableBarrier
 
@@ -30,13 +32,52 @@ func newMailbox() *mailbox {
 	return b
 }
 
+// recvMatch blocks until an envelope from (from, tag) is queued, the run
+// aborts, or — when timeout > 0 — the deadline expires, in which case it
+// counts a miss against the limits' counter sink and fails with an
+// ErrDeadline-wrapped error. Shared by the inproc and TCP engines.
+func (b *mailbox) recvMatch(from, tag int, timeout time.Duration, abortErr func() error, counters *FaultCounters) (any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout) //lint:allow nondeterminism transport deadline, never a routing decision
+	}
+	for {
+		if i := matchEnv(b.queue, from, tag); i >= 0 {
+			env := b.queue[i]
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return env.v, nil
+		}
+		if err := abortErr(); err != nil {
+			return nil, err
+		}
+		if timeout <= 0 {
+			b.cond.Wait()
+			continue
+		}
+		left := time.Until(deadline) //lint:allow nondeterminism transport deadline, never a routing decision
+		if left <= 0 {
+			if counters != nil {
+				counters.DeadlineMisses.Add(1)
+			}
+			return nil, fmt.Errorf("mp: recv from rank %d tag %d: no message within %v: %w", from, tag, timeout, ErrDeadline)
+		}
+		// Wake this waiter when the deadline passes so the loop can fail
+		// instead of sleeping on the cond forever.
+		t := time.AfterFunc(left, b.cond.Broadcast)
+		b.cond.Wait()
+		t.Stop()
+	}
+}
+
 type iComm struct {
 	m    *iMachine
 	rank int
 }
 
-func runInproc(n int, fn func(Comm) error) error {
-	m := &iMachine{n: n, boxes: make([]*mailbox, n), barrier: newReusableBarrier(n)}
+func runInproc(n int, lim Limits, fn func(Comm) error) error {
+	m := &iMachine{n: n, lim: lim, boxes: make([]*mailbox, n), barrier: newReusableBarrier(n)}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()
 	}
@@ -98,20 +139,7 @@ func (c *iComm) Recv(from, tag int) (any, error) {
 	if from < 0 || from >= c.m.n {
 		return nil, fmt.Errorf("mp: recv from rank %d of %d", from, c.m.n)
 	}
-	b := c.m.boxes[c.rank]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if i := matchEnv(b.queue, from, tag); i >= 0 {
-			env := b.queue[i]
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			return env.v, nil
-		}
-		if err := c.m.abortErr(); err != nil {
-			return nil, err
-		}
-		b.cond.Wait()
-	}
+	return c.m.boxes[c.rank].recvMatch(from, tag, c.m.lim.RecvTimeout, c.m.abortErr, c.m.lim.Counters)
 }
 
 func (c *iComm) Barrier() error {

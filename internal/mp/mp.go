@@ -45,6 +45,14 @@ type Comm interface {
 	Barrier() error
 }
 
+// Reserved engine tags. The negative tag space belongs to the engines:
+// user code must send and receive on tags >= 0, and the tag-discipline
+// analyzer reports user tag constants that stray into the reserved range.
+const (
+	// tagBarrier carries the TCP engine's barrier gather/release tokens.
+	tagBarrier = -2
+)
+
 // Mode selects the execution engine.
 type Mode int
 
@@ -77,11 +85,114 @@ type Config struct {
 	// Model is the communication cost model used by the Virtual engine;
 	// ignored by the others. Zero value means SMP().
 	Model CostModel
+	// Limits bounds how long the real-time engines (Inproc, TCP) wait on
+	// a single message. Ignored by Virtual, whose deterministic deadlock
+	// detector subsumes per-message deadlines.
+	Limits Limits
+	// Chaos, when non-nil, wraps the selected engine in a deterministic
+	// fault injector driven by the plan (see Chaos).
+	Chaos *Plan
+}
+
+// Limits bounds single-message waits on the real-time engines.
+type Limits struct {
+	// RecvTimeout is the longest a Recv (including the engine-internal
+	// barrier traffic of the TCP engine) waits for a matching message
+	// before failing with ErrDeadline. Zero means wait forever.
+	RecvTimeout time.Duration
+	// SendTimeout is the longest a TCP Send may spend writing to the
+	// socket before failing with ErrDeadline. Zero means no limit. The
+	// in-memory engines never block in Send.
+	SendTimeout time.Duration
+	// Counters, when non-nil, receives deadline-miss counts. Config.Run
+	// points it at the chaos counter set automatically when Chaos is on.
+	Counters *FaultCounters
 }
 
 // ErrDeadlock is returned when every worker is blocked and no message can
 // ever arrive.
 var ErrDeadlock = errors.New("mp: deadlock: all workers blocked")
+
+// ErrDeadline is wrapped by errors from sends and receives that exceeded
+// their configured deadline or exhausted their retry budget.
+var ErrDeadline = errors.New("mp: deadline exceeded")
+
+// ErrRankLost is wrapped by errors caused by a rank dying mid-run: its
+// connections dropping on the TCP engine, or a chaos plan crashing it.
+// Surviving ranks see it from any blocked or subsequent operation, so a
+// caller can detect the loss with errors.Is and degrade gracefully.
+var ErrRankLost = errors.New("mp: rank lost")
+
+// Engine runs a worker function on P ranks. The three built-in engines
+// are selected by Config.Mode; Chaos wraps any of them with deterministic
+// fault injection.
+type Engine interface {
+	// Run executes fn on procs workers and returns the elapsed parallel
+	// time: simulated time under Virtual, wall-clock time otherwise. The
+	// first worker error aborts the run and is returned.
+	Run(procs int, fn func(Comm) error) (time.Duration, error)
+}
+
+type virtualEngine struct{ model CostModel }
+
+func (e virtualEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+	return runVirtual(procs, e.model, fn)
+}
+
+type inprocEngine struct{ lim Limits }
+
+func (e inprocEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+	err := runInproc(procs, e.lim, fn)
+	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+}
+
+type tcpEngine struct{ lim Limits }
+
+func (e tcpEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+	err := runTCP(procs, e.lim, fn)
+	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+}
+
+// baseEngine builds the transport selected by Mode, without chaos.
+func (cfg Config) baseEngine() (Engine, error) {
+	switch cfg.Mode {
+	case Virtual:
+		model := cfg.Model
+		if model.Name == "" {
+			model = SMP()
+		}
+		return virtualEngine{model: model}, nil
+	case Inproc:
+		return inprocEngine{lim: cfg.Limits}, nil
+	case TCP:
+		return tcpEngine{lim: cfg.Limits}, nil
+	default:
+		return nil, fmt.Errorf("mp: unknown mode %v", cfg.Mode)
+	}
+}
+
+// Engine returns the engine the config selects: one of the built-in
+// transports, wrapped in a Chaos fault injector when cfg.Chaos is set.
+// Returning the *ChaosEngine (rather than running it blindly) lets the
+// caller read fault counters and the event log after the run.
+func (cfg Config) Engine() (Engine, error) {
+	if cfg.Chaos == nil {
+		return cfg.baseEngine()
+	}
+	ce := &ChaosEngine{plan: *cfg.Chaos}
+	if cfg.Limits.Counters == nil {
+		// Deadline misses inside the transport count as chaos faults.
+		cfg.Limits.Counters = &ce.counters
+	}
+	base, err := cfg.baseEngine()
+	if err != nil {
+		return nil, err
+	}
+	ce.inner = base
+	return ce, nil
+}
 
 // Run executes fn on Procs workers and returns the elapsed parallel time:
 // simulated time under Virtual, wall-clock time otherwise. The first
@@ -90,24 +201,11 @@ func (cfg Config) Run(fn func(Comm) error) (time.Duration, error) {
 	if cfg.Procs <= 0 {
 		return 0, fmt.Errorf("mp: Procs must be positive, got %d", cfg.Procs)
 	}
-	switch cfg.Mode {
-	case Virtual:
-		model := cfg.Model
-		if model.Name == "" {
-			model = SMP()
-		}
-		return runVirtual(cfg.Procs, model, fn)
-	case Inproc:
-		start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-		err := runInproc(cfg.Procs, fn)
-		return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-	case TCP:
-		start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-		err := runTCP(cfg.Procs, fn)
-		return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-	default:
-		return 0, fmt.Errorf("mp: unknown mode %v", cfg.Mode)
+	eng, err := cfg.Engine()
+	if err != nil {
+		return 0, err
 	}
+	return eng.Run(cfg.Procs, fn)
 }
 
 // envelope is an in-flight message.

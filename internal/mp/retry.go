@@ -1,0 +1,42 @@
+package mp
+
+import (
+	"time"
+
+	"parroute/internal/rng"
+)
+
+// Retry pacing for the chaos engine's at-least-once delivery: a dropped
+// message is resent after an exponentially growing pause with equal
+// jitter. The jitter is drawn from the link's own deterministic RNG
+// stream, so for a fixed plan seed the whole retry schedule — like every
+// other injected fault — is byte-reproducible.
+
+// backoff returns the pause before retry `attempt` (0-based): base*2^attempt
+// capped at cap, half of it deterministic and half jittered. A non-positive
+// base disables pausing entirely.
+func backoff(r *rng.RNG, base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(r.Float64()*float64(half))
+}
+
+// idle parks the calling worker for d of real time. Under the virtual
+// engine this charges the pause to the worker's measured compute span —
+// simulated time moves, and no routing decision ever reads a clock, so
+// determinism of results is unaffected.
+func idle(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d) //lint:allow nondeterminism fault-injection pacing, never a routing decision
+}

@@ -6,15 +6,15 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP engine gives every rank a loopback listener and a full mesh of
 // gob-encoded connections — the "distributed memory machine" deployment
 // shape, with real serialization and kernel round trips on every message.
 // Barriers are built from point-to-point messages (gather to rank 0, then
-// release), so the whole engine needs nothing beyond sockets.
-
-const barrierTag = -2
+// release) on the reserved tagBarrier, so the whole engine needs nothing
+// beyond sockets.
 
 type tComm struct {
 	m    *tMachine
@@ -23,11 +23,14 @@ type tComm struct {
 
 type tMachine struct {
 	n     int
+	lim   Limits
 	boxes []*mailbox
 	peers [][]*tPeer // [rank][peer]
 
 	mu      sync.Mutex
 	aborted error
+	closing bool   // end-of-run teardown in progress
+	lost    []bool // ranks whose connections died mid-run
 }
 
 // tPeer is one directed view of a connection: an encoder guarded by a
@@ -38,8 +41,8 @@ type tPeer struct {
 	enc  *gob.Encoder
 }
 
-func runTCP(n int, fn func(Comm) error) error {
-	m := &tMachine{n: n, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n)}
+func runTCP(n int, lim Limits, fn func(Comm) error) error {
+	m := &tMachine{n: n, lim: lim, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n), lost: make([]bool, n)}
 	for i := 0; i < n; i++ {
 		m.boxes[i] = newMailbox()
 		m.peers[i] = make([]*tPeer, n)
@@ -115,10 +118,10 @@ func runTCP(n int, fn func(Comm) error) error {
 				continue
 			}
 			wgRead.Add(1)
-			go func(rank int, conn net.Conn) {
+			go func(rank, peer int, conn net.Conn) {
 				defer wgRead.Done()
-				m.readLoop(rank, conn)
-			}(rank, p.conn)
+				m.readLoop(rank, peer, conn)
+			}(rank, peer, p.conn)
 		}
 	}
 
@@ -167,15 +170,16 @@ func registerConn(m *tMachine, owner, peer int, conn net.Conn) {
 }
 
 // readLoop decodes envelopes arriving on conn for the given local rank.
-func (m *tMachine) readLoop(rank int, conn net.Conn) {
+// A mid-run decode failure means the peer's endpoint died, so the peer is
+// marked lost and every blocked rank is released with ErrRankLost.
+func (m *tMachine) readLoop(rank, peer int, conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	for {
 		var env wireEnv
 		if err := dec.Decode(&env); err != nil {
-			if err != io.EOF && m.abortErr() == nil {
-				// Connection torn down mid-run; surfaced to blocked
-				// receivers through abort.
-				m.abort(fmt.Errorf("mp: rank %d lost connection: %w", rank, err))
+			if err != io.EOF && !m.isClosing() && m.abortErr() == nil {
+				m.markLost(peer)
+				m.abort(fmt.Errorf("mp: rank %d lost its connection to rank %d (%w): %w", rank, peer, err, ErrRankLost))
 			}
 			return
 		}
@@ -184,6 +188,45 @@ func (m *tMachine) readLoop(rank int, conn net.Conn) {
 		b.queue = append(b.queue, envelope{src: env.Src, tag: env.Tag, v: env.V})
 		b.mu.Unlock()
 		b.cond.Broadcast()
+	}
+}
+
+func (m *tMachine) markLost(rank int) {
+	m.mu.Lock()
+	m.lost[rank] = true
+	m.mu.Unlock()
+}
+
+func (m *tMachine) isLost(rank int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lost[rank]
+}
+
+func (m *tMachine) isClosing() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closing
+}
+
+// injectCrash makes this rank die from its peers' point of view: it is
+// marked lost first (so error paths already attribute failures to a dead
+// rank, not a stray socket error), then all of its connections are torn
+// down, which kills the read pumps on both sides. Used by the chaos
+// engine; safe to call more than once because net.Conn.Close is.
+func (c *tComm) injectCrash() {
+	m := c.m
+	m.markLost(c.rank)
+	m.mu.Lock()
+	conns := make([]net.Conn, 0, m.n)
+	for _, p := range m.peers[c.rank] {
+		if p != nil && p.conn != nil {
+			conns = append(conns, p.conn)
+		}
+	}
+	m.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
 	}
 }
 
@@ -207,6 +250,7 @@ func (m *tMachine) abortErr() error {
 func (m *tMachine) closeAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.closing = true
 	for i := range m.peers {
 		for j := range m.peers[i] {
 			if p := m.peers[i][j]; p != nil && p.conn != nil {
@@ -226,6 +270,9 @@ func (c *tComm) Send(to, tag int, v any) error {
 	if err := c.m.abortErr(); err != nil {
 		return err
 	}
+	if c.m.isLost(to) {
+		return fmt.Errorf("mp: send %d->%d: %w", c.rank, to, ErrRankLost)
+	}
 	if to == c.rank {
 		b := c.m.boxes[c.rank]
 		b.mu.Lock()
@@ -237,7 +284,23 @@ func (c *tComm) Send(to, tag int, v any) error {
 	p := c.m.peers[c.rank][to]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if d := c.m.lim.SendTimeout; d > 0 {
+		deadline := time.Now().Add(d) //lint:allow nondeterminism transport deadline, never a routing decision
+		p.conn.SetWriteDeadline(deadline)
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
 	if err := p.enc.Encode(&wireEnv{Src: c.rank, Tag: tag, V: v}); err != nil {
+		// Attribute the failure: a dead peer beats a raw socket error, and
+		// a stalled write past its deadline is a deadline miss.
+		if c.m.isLost(to) || c.m.isLost(c.rank) {
+			return fmt.Errorf("mp: send %d->%d: %w: %w", c.rank, to, err, ErrRankLost)
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			if c.m.lim.Counters != nil {
+				c.m.lim.Counters.DeadlineMisses.Add(1)
+			}
+			return fmt.Errorf("mp: send %d->%d: write stalled past %v: %w", c.rank, to, c.m.lim.SendTimeout, ErrDeadline)
+		}
 		return fmt.Errorf("mp: send %d->%d: %w", c.rank, to, err)
 	}
 	return nil
@@ -247,20 +310,7 @@ func (c *tComm) Recv(from, tag int) (any, error) {
 	if from < 0 || from >= c.m.n {
 		return nil, fmt.Errorf("mp: recv from rank %d of %d", from, c.m.n)
 	}
-	b := c.m.boxes[c.rank]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if i := matchEnv(b.queue, from, tag); i >= 0 {
-			env := b.queue[i]
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			return env.v, nil
-		}
-		if err := c.m.abortErr(); err != nil {
-			return nil, err
-		}
-		b.cond.Wait()
-	}
+	return c.m.boxes[c.rank].recvMatch(from, tag, c.m.lim.RecvTimeout, c.m.abortErr, c.m.lim.Counters)
 }
 
 // Barrier gathers a token at rank 0 and releases everyone — all message
@@ -271,20 +321,20 @@ func (c *tComm) Barrier() error {
 	}
 	if c.rank == 0 {
 		for r := 1; r < c.m.n; r++ {
-			if _, err := c.Recv(r, barrierTag); err != nil {
+			if _, err := c.Recv(r, tagBarrier); err != nil {
 				return err
 			}
 		}
 		for r := 1; r < c.m.n; r++ {
-			if err := c.Send(r, barrierTag, true); err != nil {
+			if err := c.Send(r, tagBarrier, true); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := c.Send(0, barrierTag, true); err != nil {
+	if err := c.Send(0, tagBarrier, true); err != nil {
 		return err
 	}
-	_, err := c.Recv(0, barrierTag)
+	_, err := c.Recv(0, tagBarrier)
 	return err
 }

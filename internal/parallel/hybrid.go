@@ -29,7 +29,7 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	specs := computeCrossings(base, blocks, owner, rank)
 	myFakes, err := exchangeFakePins(comm, specs)
 	if err != nil {
-		return err
+		return fmt.Errorf("hybrid: fake-pin exchange: %w", err)
 	}
 	var sub *circuit.Circuit
 	if opt.TrimSubcircuits {
@@ -68,7 +68,7 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	}
 	in, err := mp.Alltoall(comm, tagNetNodes, vs)
 	if err != nil {
-		return err
+		return fmt.Errorf("hybrid: net-node exchange: %w", err)
 	}
 	byNet, err := collectNodes(in)
 	if err != nil {
@@ -97,7 +97,7 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	}
 	in, err = mp.Alltoall(comm, tagWiresRedist, vs)
 	if err != nil {
-		return err
+		return fmt.Errorf("hybrid: wire redistribution: %w", err)
 	}
 	var myWires []metrics.Wire
 	for r, raw := range in {
@@ -112,12 +112,12 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	// the shared boundary channels synchronized once with the neighbors.
 	coreW, err := globalCoreWidth(comm, sub, block)
 	if err != nil {
-		return err
+		return fmt.Errorf("hybrid: core-width sync: %w", err)
 	}
 	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
 	occ.AddWires(myWires)
 	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
-		return err
+		return fmt.Errorf("hybrid: boundary-occupancy sync: %w", err)
 	}
 	switchable := 0
 	for i := range myWires {
@@ -136,5 +136,8 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 		CoarseFlips:  rt.CoarseFlips,
 		RowWidths:    ownRowWidths(sub, block),
 	}
-	return gatherResults(comm, myWires, sum, out)
+	if err := gatherResults(comm, myWires, sum, out); err != nil {
+		return fmt.Errorf("hybrid: result gather: %w", err)
+	}
+	return nil
 }

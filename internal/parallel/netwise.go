@@ -61,7 +61,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	}
 	shared, err := allreduceGrid(comm, own)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: grid sync: %w", err)
 	}
 	cands := make([]int, 0, len(segs))
 	for i := range segs {
@@ -101,7 +101,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 		coarseFlips += passFlips
 		globalFlips, err := mp.AllreduceInt(comm, tagCoarseVote, passFlips, mp.SumInt)
 		if err != nil {
-			return err
+			return fmt.Errorf("netwise: coarse convergence vote: %w", err)
 		}
 		if globalFlips == 0 {
 			break
@@ -113,7 +113,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	// closes the coarse phase (its cost is charged like any other sync).
 	shared, err = allreduceGrid(comm, own)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: final grid sync: %w", err)
 	}
 
 	// Phase 3a: realize feedthrough demand in this rank's rows. The final
@@ -154,7 +154,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	}
 	in, err := mp.Alltoall(comm, tagCrossings, vs)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: crossing exchange: %w", err)
 	}
 	byRow := make([][]CrossingMsg, len(sub.Rows))
 	for r, raw := range in {
@@ -214,7 +214,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	}
 	in, err = mp.Alltoall(comm, tagNetNodes, vs)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: pin-node exchange: %w", err)
 	}
 	byNet, err := collectNodes(in)
 	if err != nil {
@@ -225,7 +225,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	}
 	in, err = mp.Alltoall(comm, tagFtNodes, vs)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: feedthrough-node exchange: %w", err)
 	}
 	ftByNet, err := collectNodes(in)
 	if err != nil {
@@ -240,13 +240,13 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	// Phase 5: switchable optimization with replicated occupancy.
 	coreW, err := globalCoreWidth(comm, sub, block)
 	if err != nil {
-		return err
+		return fmt.Errorf("netwise: core-width sync: %w", err)
 	}
 	ownOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
 	ownOcc.AddWires(wires)
 	sharedOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
 	if err := allreduceOcc(comm, ownOcc, sharedOcc); err != nil {
-		return err
+		return fmt.Errorf("netwise: occupancy sync: %w", err)
 	}
 	switchIdx := make([]int, 0, len(wires))
 	for i := range wires {
@@ -282,7 +282,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 		switchFlips += passFlips
 		globalFlips, err := mp.AllreduceInt(comm, tagSwitchVote, passFlips, mp.SumInt)
 		if err != nil {
-			return err
+			return fmt.Errorf("netwise: switch convergence vote: %w", err)
 		}
 		if globalFlips == 0 {
 			break
@@ -298,7 +298,10 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 		CoarseFlips:  coarseFlips,
 		RowWidths:    ownRowWidths(sub, block),
 	}
-	return gatherResults(comm, wires, sum, out)
+	if err := gatherResults(comm, wires, sum, out); err != nil {
+		return fmt.Errorf("netwise: result gather: %w", err)
+	}
+	return nil
 }
 
 // forEachChunk splits [0, n) into `chunks` contiguous pieces (at least

@@ -22,6 +22,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -86,6 +87,16 @@ type Options struct {
 	// "the routing quality is controlled by frequent synchronization but
 	// this reduces the runtime performance".
 	NetwiseSyncPerPass int
+	// Chaos, when non-nil, runs the workers under deterministic fault
+	// injection (see mp.Chaos). The result carries the fault tallies; if
+	// the plan kills a rank, Run degrades to the serial algorithm.
+	Chaos *mp.Plan
+	// Limits bounds per-message waits on the real-time engines.
+	Limits mp.Limits
+
+	// onEngine, when set (tests only), observes the constructed engine
+	// before the run so chaos event logs can be inspected afterwards.
+	onEngine func(mp.Engine)
 }
 
 func (o *Options) normalize() error {
@@ -134,7 +145,7 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	}
 
 	out := &runOutput{}
-	cfg := mp.Config{Procs: opt.Procs, Mode: opt.Mode, Model: opt.Model}
+	cfg := mp.Config{Procs: opt.Procs, Mode: opt.Mode, Model: opt.Model, Limits: opt.Limits, Chaos: opt.Chaos}
 	var worker func(mp.Comm) error
 	switch opt.Algo {
 	case RowWise:
@@ -146,8 +157,21 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	default:
 		return nil, fmt.Errorf("parallel: unknown algorithm %v", opt.Algo)
 	}
-	elapsed, err := cfg.Run(worker)
+	eng, err := cfg.Engine()
 	if err != nil {
+		return nil, err
+	}
+	chaos, _ := eng.(*mp.ChaosEngine)
+	if opt.onEngine != nil {
+		opt.onEngine(eng)
+	}
+	elapsed, err := eng.Run(opt.Procs, worker)
+	if err != nil {
+		if errors.Is(err, mp.ErrRankLost) {
+			// Graceful degradation: a rank died mid-phase; the parallel
+			// result is unrecoverable, so rank 0 reroutes serially.
+			return degrade(c, opt, chaos, err)
+		}
 		return nil, err
 	}
 	if out.raw == nil {
@@ -160,7 +184,35 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	res.Algo = opt.Algo.String()
 	res.Procs = opt.Procs
 	res.Elapsed = elapsed
+	attachFaults(res, chaos)
 	return res, nil
+}
+
+// degrade falls back to the serial pipeline after a rank loss. The result
+// is exactly RunBaseline's, marked Degraded, with the fault tallies of
+// the aborted parallel attempt attached.
+func degrade(c *circuit.Circuit, opt Options, chaos *mp.ChaosEngine, cause error) (*metrics.Result, error) {
+	res, err := RunBaseline(c, opt)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: serial fallback after %w: %w", cause, err)
+	}
+	res.Degraded = true
+	attachFaults(res, chaos)
+	return res, nil
+}
+
+// attachFaults copies the chaos engine's tallies onto the result (no-op
+// without chaos).
+func attachFaults(res *metrics.Result, chaos *mp.ChaosEngine) {
+	if chaos == nil {
+		return
+	}
+	s := chaos.Snapshot()
+	res.Faults = &metrics.FaultReport{
+		Sends: s.Sends, Drops: s.Drops, Delays: s.Delays, Dups: s.Dups,
+		Reorders: s.Reorders, Retries: s.Retries, Dedups: s.Dedups,
+		DeadlineMisses: s.DeadlineMisses, Crashes: s.Crashes,
+	}
 }
 
 // runOutput carries rank 0's gathered raw output from the workers back to

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"fmt"
+
 	"parroute/internal/circuit"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
@@ -33,7 +35,7 @@ func rowWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	sw.lap("crossings")
 	myFakes, err := exchangeFakePins(comm, specs)
 	if err != nil {
-		return err
+		return fmt.Errorf("rowwise: fake-pin exchange: %w", err)
 	}
 	sw.reset()
 	var sub *circuit.Circuit
@@ -59,12 +61,12 @@ func rowWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	// the neighbors' wires as background.
 	coreW, err := globalCoreWidth(comm, sub, block)
 	if err != nil {
-		return err
+		return fmt.Errorf("rowwise: core-width sync: %w", err)
 	}
 	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
 	occ.AddWires(rt.Wires)
 	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
-		return err
+		return fmt.Errorf("rowwise: boundary-occupancy sync: %w", err)
 	}
 	sw.reset()
 	switchable := 0
@@ -87,5 +89,8 @@ func rowWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 		RowWidths:    ownRowWidths(sub, block),
 		Phases:       append(sw.phases, rt.Phases()...),
 	}
-	return gatherResults(comm, rt.Wires, sum, out)
+	if err := gatherResults(comm, rt.Wires, sum, out); err != nil {
+		return fmt.Errorf("rowwise: result gather: %w", err)
+	}
+	return nil
 }

@@ -29,4 +29,14 @@ step "go vet ./..." go vet ./...
 step "parroutecheck ./..." go run ./cmd/parroutecheck ./...
 step "go test -race ./..." go test -race ./...
 
+# Chaos tier: the fault-injection soak (drop/delay/dup/reorder plans must
+# leave routing metrics byte-identical; crashes must degrade, not hang)
+# under the race detector, twice, with two fixed fault-schedule seeds.
+chaos_soak() {
+  CHAOS_SEED="$1" go test -race -count=2 -run 'Chaos|Crash' \
+    ./internal/mp ./internal/parallel
+}
+step "chaos soak (seed 1)" chaos_soak 1
+step "chaos soak (seed 2)" chaos_soak 2
+
 echo "check.sh: all gates passed"
