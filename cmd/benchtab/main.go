@@ -8,6 +8,16 @@
 //	benchtab -figure 5            # one figure (4..6)
 //	benchtab -ablation partition  # or: sync
 //	benchtab -quick -all          # smaller circuit set for a fast pass
+//	benchtab -quick -json BENCH_PR4.json   # machine-readable perf snapshot
+//	benchtab -checkjson BENCH_PR4.json     # validate a committed snapshot
+//
+// -json measures the tree (serial wall-clock with per-phase split and
+// allocation counts, parallel speedup and scaled tracks on the simulated
+// SMP machine) and writes a bench.Report. When the output file already
+// exists, its baseline — or, for a first-generation file, its current
+// snapshot — is carried forward as the new report's baseline, so the
+// committed file always compares the tree against the pre-optimization
+// state it was first generated from.
 package main
 
 import (
@@ -22,18 +32,26 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every table, figure and ablation")
-		table    = flag.Int("table", 0, "regenerate one table (1-5)")
-		figure   = flag.Int("figure", 0, "regenerate one figure (4-6)")
-		ablation = flag.String("ablation", "", "run an ablation: partition | sync | platform")
-		quick    = flag.Bool("quick", false, "use only the two smallest circuits")
-		seed     = flag.Uint64("seed", 7, "seed for circuit synthesis and routing")
-		reps     = flag.Int("reps", 1, "timing repetitions (fastest kept)")
-		seeds    = flag.Int("seeds", 0, "for -table 2/3/4: report mean [min-max] over this many seeds")
-		circuits = flag.String("circuits", "", "comma-separated circuit subset")
-		procs    = flag.String("procs", "1,2,4,8", "comma-separated worker counts")
+		all       = flag.Bool("all", false, "run every table, figure and ablation")
+		table     = flag.Int("table", 0, "regenerate one table (1-5)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (4-6)")
+		ablation  = flag.String("ablation", "", "run an ablation: partition | sync | platform")
+		quick     = flag.Bool("quick", false, "use only the two smallest circuits")
+		seed      = flag.Uint64("seed", 7, "seed for circuit synthesis and routing")
+		reps      = flag.Int("reps", 1, "timing repetitions (fastest kept)")
+		seeds     = flag.Int("seeds", 0, "for -table 2/3/4: report mean [min-max] over this many seeds")
+		circuits  = flag.String("circuits", "", "comma-separated circuit subset")
+		procs     = flag.String("procs", "1,2,4,8", "comma-separated worker counts")
+		jsonOut   = flag.String("json", "", "write a machine-readable perf report to this path")
+		label     = flag.String("label", "", "label stored in the -json report")
+		checkJSON = flag.String("checkjson", "", "parse and validate a perf report, then exit")
 	)
 	flag.Parse()
+
+	if *checkJSON != "" {
+		validateReport(*checkJSON)
+		return
+	}
 
 	cfg := bench.Config{Seed: *seed, Reps: *reps}
 	if *quick {
@@ -50,6 +68,11 @@ func main() {
 		cfg.Procs = append(cfg.Procs, p)
 	}
 	s := bench.NewSuite(cfg)
+
+	if *jsonOut != "" {
+		writeReport(cfg, *jsonOut, *label)
+		return
+	}
 
 	ran := false
 	check := func(err error) {
@@ -110,6 +133,57 @@ func ablationCircuit(cfg bench.Config) string {
 		return "avq.large"
 	}
 	return cfg.Circuits[len(cfg.Circuits)-1]
+}
+
+// writeReport collects a perf snapshot and writes it to path, carrying the
+// baseline of any existing report at path forward.
+func writeReport(cfg bench.Config, path, label string) {
+	var prev *bench.Report
+	if f, err := os.Open(path); err == nil {
+		prev, err = bench.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fatalf("existing report %s: %v", path, err)
+		}
+	}
+	snap, err := bench.CollectSnapshot(cfg)
+	if err != nil {
+		fatalf("collecting snapshot: %v", err)
+	}
+	report := bench.BuildReport(prev, *snap, label)
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := bench.WriteReport(f, report); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	if report.Baseline != nil {
+		fmt.Printf("wrote %s: serial speedup vs baseline %.2fx\n", path, report.SerialSpeedupVsBaseline)
+	} else {
+		fmt.Printf("wrote %s (no baseline yet; rerun after changes to compare)\n", path)
+	}
+}
+
+// validateReport parses a report file, failing the process on any error —
+// the CI smoke check that the committed BENCH_PR4.json stays readable.
+func validateReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s: schema %s, %d serial + %d parallel runs", path, r.Schema,
+		len(r.Current.Serial), len(r.Current.Parallel))
+	if r.Baseline != nil {
+		fmt.Printf(", serial speedup vs baseline %.2fx", r.SerialSpeedupVsBaseline)
+	}
+	fmt.Println()
 }
 
 func fatalf(format string, args ...any) {

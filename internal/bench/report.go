@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"parroute/internal/circuit"
+	"parroute/internal/mp"
+	"parroute/internal/parallel"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+// ReportSchema identifies the on-disk format of BENCH_PR4.json. Bump it
+// when a field changes meaning; readers reject unknown schemas so the perf
+// baseline can't silently drift.
+const ReportSchema = "parroute-bench/1"
+
+// Report is the machine-readable perf trajectory point committed as
+// BENCH_PR4.json. Baseline is the snapshot the acceptance criteria compare
+// against (captured before an optimization lands); Current is the state of
+// the tree the report was generated from.
+type Report struct {
+	Schema string `json:"schema"`
+	Label  string `json:"label,omitempty"`
+
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  Snapshot  `json:"current"`
+
+	// SerialSpeedupVsBaseline is the mean over circuits of baseline serial
+	// wall-clock divided by current serial wall-clock; 0 when no baseline.
+	SerialSpeedupVsBaseline float64 `json:"serialSpeedupVsBaseline,omitempty"`
+}
+
+// Snapshot is one measurement of the tree: serial wall-clock and
+// allocation figures per circuit, plus parallel speedup/quality under the
+// simulated SMP machine.
+type Snapshot struct {
+	GoVersion string   `json:"goVersion"`
+	Seed      uint64   `json:"seed"`
+	Reps      int      `json:"reps"`
+	Circuits  []string `json:"circuits"`
+	Procs     []int    `json:"procs"`
+
+	Serial   []SerialRun   `json:"serial"`
+	Parallel []ParallelRun `json:"parallel"`
+}
+
+// SerialRun is one serial TWGR measurement. Wall-clock keeps the fastest
+// of Reps runs; the phase split comes from that run. AllocsPerOp and
+// BytesPerOp are the heap figures of one full pipeline run.
+type SerialRun struct {
+	Circuit     string    `json:"circuit"`
+	ElapsedNS   int64     `json:"elapsedNs"`
+	Phases      []PhaseNS `json:"phases,omitempty"`
+	AllocsPerOp int64     `json:"allocsPerOp"`
+	BytesPerOp  int64     `json:"bytesPerOp"`
+	TotalTracks int       `json:"totalTracks"`
+	Area        int64     `json:"area"`
+}
+
+// PhaseNS is one named phase's wall time in nanoseconds.
+type PhaseNS struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsedNs"`
+}
+
+// ParallelRun is one parallel-algorithm measurement on the simulated SMP
+// machine: simulated wall-clock, speedup over the serial baseline, and the
+// paper's scaled-tracks quality measure.
+type ParallelRun struct {
+	Circuit      string  `json:"circuit"`
+	Algo         string  `json:"algo"`
+	Procs        int     `json:"procs"`
+	Model        string  `json:"model"`
+	ElapsedNS    int64   `json:"elapsedNs"`
+	Speedup      float64 `json:"speedup"`
+	ScaledTracks float64 `json:"scaledTracks"`
+}
+
+// CollectSnapshot measures the tree under the given configuration. Serial
+// timing keeps the fastest of cfg.Reps runs; allocation figures come from
+// one additional instrumented run.
+func CollectSnapshot(cfg Config) (*Snapshot, error) {
+	cfg.Normalize()
+	s := NewSuite(cfg)
+	snap := &Snapshot{
+		GoVersion: runtime.Version(),
+		Seed:      cfg.Seed,
+		Reps:      cfg.Reps,
+		Circuits:  cfg.Circuits,
+		Procs:     cfg.Procs,
+	}
+
+	for _, name := range cfg.Circuits {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.Circuit(name)
+		if err != nil {
+			return nil, err
+		}
+		allocs, bytes := measureSerialAllocs(c, route.Options{Seed: cfg.Seed + 1})
+		run := SerialRun{
+			Circuit:     name,
+			ElapsedNS:   base.Elapsed.Nanoseconds(),
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
+			TotalTracks: base.TotalTracks,
+			Area:        base.Area,
+		}
+		for _, p := range base.Phases {
+			run.Phases = append(run.Phases, PhaseNS{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()})
+		}
+		snap.Serial = append(snap.Serial, run)
+
+		for _, procs := range cfg.Procs {
+			if procs <= 1 {
+				continue
+			}
+			for _, algo := range parallel.Algorithms() {
+				r, err := s.Run(name, algo, procs, mp.SMP(), 0, partition.PinWeight)
+				if err != nil {
+					return nil, err
+				}
+				snap.Parallel = append(snap.Parallel, ParallelRun{
+					Circuit:      name,
+					Algo:         algo.String(),
+					Procs:        procs,
+					Model:        mp.SMP().Name,
+					ElapsedNS:    r.Elapsed.Nanoseconds(),
+					Speedup:      r.Speedup(base),
+					ScaledTracks: r.ScaledTracks(base),
+				})
+			}
+		}
+	}
+	return snap, nil
+}
+
+// measureSerialAllocs runs the serial pipeline once and returns the heap
+// allocations and bytes it performed. The clone happens before the
+// measurement window so only the pipeline itself is counted.
+func measureSerialAllocs(c *circuit.Circuit, opt route.Options) (allocs, bytes int64) {
+	clone := c.Clone()
+	rt := route.NewRouter(clone, opt)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rt.Run()
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// BuildReport assembles a new report from the freshly collected snapshot,
+// carrying the baseline forward: prev's baseline if it had one, otherwise
+// prev's current snapshot (so the first report generated before an
+// optimization naturally becomes the baseline of the next). A nil prev
+// yields a report with no baseline.
+func BuildReport(prev *Report, snap Snapshot, label string) *Report {
+	r := &Report{Schema: ReportSchema, Label: label, Current: snap}
+	if prev != nil {
+		if prev.Baseline != nil {
+			r.Baseline = prev.Baseline
+		} else {
+			base := prev.Current
+			r.Baseline = &base
+		}
+		r.SerialSpeedupVsBaseline = serialSpeedup(r.Baseline, &r.Current)
+	}
+	return r
+}
+
+// serialSpeedup is the mean over matching circuits of baseline elapsed
+// divided by current elapsed.
+func serialSpeedup(base *Snapshot, cur *Snapshot) float64 {
+	byName := make(map[string]int64, len(base.Serial))
+	for _, r := range base.Serial {
+		byName[r.Circuit] = r.ElapsedNS
+	}
+	var ratios []float64
+	for _, r := range cur.Serial {
+		if b, ok := byName[r.Circuit]; ok && r.ElapsedNS > 0 {
+			ratios = append(ratios, float64(b)/float64(r.ElapsedNS))
+		}
+	}
+	return Mean(ratios)
+}
+
+// WriteReport serializes the report as indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report and validates its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

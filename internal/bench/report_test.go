@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", m)
+	}
+	if m := Mean([]float64{3}); m != 3 {
+		t.Fatalf("Mean single = %v, want 3", m)
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatalf("MinMax(nil) = %v, %v, want 0, 0", lo, hi)
+	}
+	if lo, hi := MinMax([]float64{7}); lo != 7 || hi != 7 {
+		t.Fatalf("MinMax single = %v, %v", lo, hi)
+	}
+	if lo, hi := MinMax([]float64{2, -1, 5, 3}); lo != -1 || hi != 5 {
+		t.Fatalf("MinMax = %v, %v, want -1, 5", lo, hi)
+	}
+}
+
+func TestSpeedupRatio(t *testing.T) {
+	if s := SpeedupRatio(100, 0); s != 0 {
+		t.Fatalf("zero current should yield 0, got %v", s)
+	}
+	if s := SpeedupRatio(100, -5); s != 0 {
+		t.Fatalf("negative current should yield 0, got %v", s)
+	}
+	if s := SpeedupRatio(300, 100); s != 3 {
+		t.Fatalf("SpeedupRatio = %v, want 3", s)
+	}
+	if s := SpeedupRatio(100, 400); s != 0.25 {
+		t.Fatalf("SpeedupRatio = %v, want 0.25", s)
+	}
+}
+
+// fakeSnapshot builds a minimal snapshot with the given per-circuit serial
+// times.
+func fakeSnapshot(times map[string]int64) Snapshot {
+	s := Snapshot{GoVersion: "gotest", Seed: 1, Reps: 1, Procs: []int{1}}
+	for name, ns := range times {
+		s.Circuits = append(s.Circuits, name)
+		s.Serial = append(s.Serial, SerialRun{Circuit: name, ElapsedNS: ns, TotalTracks: 10, Area: 100})
+	}
+	return s
+}
+
+func TestBuildReportBaselineCarryForward(t *testing.T) {
+	// First report: no previous file, so no baseline and no speedup.
+	first := BuildReport(nil, fakeSnapshot(map[string]int64{"a": 1000}), "v0")
+	if first.Baseline != nil || first.SerialSpeedupVsBaseline != 0 {
+		t.Fatal("fresh report should have no baseline")
+	}
+
+	// Second report: the first report's Current becomes the baseline.
+	second := BuildReport(first, fakeSnapshot(map[string]int64{"a": 500}), "v1")
+	if second.Baseline == nil || second.Baseline.Serial[0].ElapsedNS != 1000 {
+		t.Fatal("previous Current was not promoted to Baseline")
+	}
+	if math.Abs(second.SerialSpeedupVsBaseline-2.0) > 1e-9 {
+		t.Fatalf("speedup = %v, want 2.0", second.SerialSpeedupVsBaseline)
+	}
+
+	// Third report: the original baseline sticks (it is not re-promoted),
+	// so speedups keep measuring against the committed pre-optimization
+	// snapshot.
+	third := BuildReport(second, fakeSnapshot(map[string]int64{"a": 250}), "v2")
+	if third.Baseline == nil || third.Baseline.Serial[0].ElapsedNS != 1000 {
+		t.Fatal("established baseline must carry forward unchanged")
+	}
+	if math.Abs(third.SerialSpeedupVsBaseline-4.0) > 1e-9 {
+		t.Fatalf("speedup = %v, want 4.0", third.SerialSpeedupVsBaseline)
+	}
+}
+
+func TestSerialSpeedupIgnoresUnmatchedCircuits(t *testing.T) {
+	base := fakeSnapshot(map[string]int64{"a": 1000, "gone": 9999})
+	cur := fakeSnapshot(map[string]int64{"a": 500, "new": 1})
+	r := BuildReport(&Report{Schema: ReportSchema, Current: base}, cur, "")
+	if math.Abs(r.SerialSpeedupVsBaseline-2.0) > 1e-9 {
+		t.Fatalf("speedup = %v, want 2.0 (only circuit a matches)", r.SerialSpeedupVsBaseline)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	snap := fakeSnapshot(map[string]int64{"a": 1000})
+	snap.Serial[0].Phases = []PhaseNS{{Name: "trees", ElapsedNS: 10}}
+	snap.Parallel = []ParallelRun{{Circuit: "a", Algo: "netwise", Procs: 4,
+		Model: "smp", ElapsedNS: 400, Speedup: 2.5, ScaledTracks: 1.01}}
+	orig := BuildReport(nil, snap, "round-trip")
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || got.Label != "round-trip" {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if len(got.Current.Serial) != 1 || got.Current.Serial[0].ElapsedNS != 1000 {
+		t.Fatalf("serial run mangled: %+v", got.Current.Serial)
+	}
+	if len(got.Current.Serial[0].Phases) != 1 || got.Current.Serial[0].Phases[0].Name != "trees" {
+		t.Fatalf("phases mangled: %+v", got.Current.Serial[0].Phases)
+	}
+	if len(got.Current.Parallel) != 1 || got.Current.Parallel[0].Speedup != 2.5 {
+		t.Fatalf("parallel run mangled: %+v", got.Current.Parallel)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"parroute-bench/999","current":{}}`)); err == nil {
+		t.Fatal("unknown schema must be rejected")
+	}
+	if _, err := ReadReport(strings.NewReader(`{"current":{}}`)); err == nil {
+		t.Fatal("missing schema must be rejected")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestCommittedReportFieldsPresent(t *testing.T) {
+	// The committed BENCH_PR4.json must keep the fields the CI smoke and
+	// the acceptance criteria read. Guard the JSON key names (a renamed
+	// tag would silently break readers of the committed file).
+	snap := fakeSnapshot(map[string]int64{"a": 1000})
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, BuildReport(nil, snap, "keys")); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema"`, `"current"`, `"serial"`, `"elapsedNs"`, `"allocsPerOp"`, `"totalTracks"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("serialized report lacks %s:\n%s", key, buf.String())
+		}
+	}
+}

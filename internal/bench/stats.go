@@ -8,6 +8,41 @@ import (
 	"parroute/internal/partition"
 )
 
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the smallest and largest value of xs; both are 0 for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	for i, x := range xs {
+		if i == 0 || x < min {
+			min = x
+		}
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// SpeedupRatio returns baseline time over current time — the speedup of
+// current relative to baseline — or 0 when current is non-positive.
+func SpeedupRatio(baselineNS, currentNS int64) float64 {
+	if currentNS <= 0 {
+		return 0
+	}
+	return float64(baselineNS) / float64(currentNS)
+}
+
 // ScaledTracksStats prints a scaled-track table (2, 3 or 4) where every
 // cell is the mean over several seeds, with the min-max spread — the
 // multi-seed robustness check for the single-seed tables. Each seed draws

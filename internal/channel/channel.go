@@ -278,7 +278,14 @@ func Validate(wires []Wire, asg Assignment) error {
 		byTrack[tr] = append(byTrack[tr], i)
 	}
 	for tr, idxs := range byTrack {
-		sort.Slice(idxs, func(a, b int) bool { return wires[idxs[a]].Span.Lo < wires[idxs[b]].Span.Lo })
+		sort.Slice(idxs, func(a, b int) bool {
+			if la, lb := wires[idxs[a]].Span.Lo, wires[idxs[b]].Span.Lo; la != lb {
+				return la < lb
+			}
+			// Same-Lo wires on one track necessarily overlap; the index
+			// tiebreak just pins which pair the error message names.
+			return idxs[a] < idxs[b]
+		})
 		for k := 1; k < len(idxs); k++ {
 			prev, cur := &wires[idxs[k-1]], &wires[idxs[k]]
 			if prev.Span.Overlaps(cur.Span) {

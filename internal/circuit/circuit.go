@@ -214,6 +214,25 @@ func (c *Circuit) AddFakePin(netID, x, row int, side Side) int {
 // (and the pins on them) by the feedthrough width. It returns the ID of the
 // feedthrough's pin, which is attached to net netID.
 func (c *Circuit) InsertFeedthrough(r, x, netID int) int {
+	pin := c.InsertFeedthroughDeferred(r, x, netID)
+	// Re-sync only this row's pins; callers inserting in bulk use the
+	// deferred form plus one SyncPinX instead.
+	for _, cid := range c.Rows[r].Cells {
+		cell := &c.Cells[cid]
+		for _, pid := range cell.Pins {
+			c.Pins[pid].X = cell.X + c.Pins[pid].Offset
+		}
+	}
+	return pin
+}
+
+// InsertFeedthroughDeferred is InsertFeedthrough without the pin-position
+// maintenance: cells (and fake pins) shift immediately, but the X of pins
+// attached to cells goes stale until the caller runs SyncPinX. Bulk
+// insertion uses it to replace the per-insertion O(row pins) shift with a
+// single final sweep; the end state is identical because an attached
+// pin's position is always its cell's X plus its offset.
+func (c *Circuit) InsertFeedthroughDeferred(r, x, netID int) int {
 	row := &c.Rows[r]
 	// Find the first cell whose left edge is >= x; insert before it.
 	idx := sort.Search(len(row.Cells), func(i int) bool {
@@ -241,16 +260,14 @@ func (c *Circuit) InsertFeedthrough(r, x, netID int) int {
 	copy(row.Cells[idx+1:], row.Cells[idx:])
 	row.Cells[idx] = cellID
 
-	// Shift everything to the right of the insertion point — cells, their
-	// pins, and the fake pins registered on this row, so boundary
-	// hand-off points drift with the layout around them instead of
-	// stretching every boundary wire by the accumulated insertion width.
+	// Shift everything to the right of the insertion point — cells and the
+	// fake pins registered on this row, so boundary hand-off points drift
+	// with the layout around them instead of stretching every boundary
+	// wire by the accumulated insertion width. Attached pins are NOT
+	// shifted here (see the doc comment); fake pins have no cell, so they
+	// must move immediately — later insertions position against them.
 	for _, cid := range row.Cells[idx+1:] {
-		cell := &c.Cells[cid]
-		cell.X += c.FeedWidth
-		for _, pid := range cell.Pins {
-			c.Pins[pid].X += c.FeedWidth
-		}
+		c.Cells[cid].X += c.FeedWidth
 	}
 	for _, pid := range c.fakeByRow[r] {
 		if c.Pins[pid].X >= at {
@@ -260,6 +277,35 @@ func (c *Circuit) InsertFeedthrough(r, x, netID int) int {
 
 	pinID := c.AddPin(cellID, netID, c.FeedWidth/2, Both)
 	return pinID
+}
+
+// SyncPinX recomputes the absolute X of every cell-attached pin from its
+// cell position and offset, closing a batch of InsertFeedthroughDeferred
+// calls. Fake pins (no cell) are untouched: insertion maintains them
+// directly.
+func (c *Circuit) SyncPinX() {
+	for i := range c.Pins {
+		p := &c.Pins[i]
+		if p.Cell != NoCell {
+			p.X = c.Cells[p.Cell].X + p.Offset
+		}
+	}
+}
+
+// GrowForFeedthroughs pre-sizes the cell and pin tables (and each row's
+// cell list, per rowCounts) for n upcoming feedthrough insertions, so bulk
+// insertion does not repeatedly regrow the circuit's backing arrays. A nil
+// rowCounts grows only the flat tables.
+func (c *Circuit) GrowForFeedthroughs(n int, rowCounts []int) {
+	c.Cells = append(make([]Cell, 0, len(c.Cells)+n), c.Cells...)
+	c.Pins = append(make([]Pin, 0, len(c.Pins)+n), c.Pins...)
+	for r := range rowCounts {
+		if rowCounts[r] == 0 {
+			continue
+		}
+		row := &c.Rows[r]
+		row.Cells = append(make([]int, 0, len(row.Cells)+rowCounts[r]), row.Cells...)
+	}
 }
 
 // NetPins returns the pins of net n in ID order.

@@ -65,6 +65,16 @@ func (g *Grid) ColCenter(col int) int {
 	return col*g.ColWidth + g.ColWidth/2
 }
 
+// clampCol clamps a column index into the grid. The vertical APIs accept
+// raw columns (unlike the horizontal ones, which go through ColOf), and a
+// pin sitting exactly on the core's right edge maps to coreWidth/ColWidth
+// == Cols when the width is a whole number of columns — one past the last
+// column. Clamping mirrors ColOf so boundary pins land in the edge column
+// instead of the next row's counters.
+func (g *Grid) clampCol(col int) int {
+	return geom.Clamp(col, 0, g.Cols-1)
+}
+
 // AddHoriz adjusts the density of channel ch over the x interval iv by
 // delta (use -1 to remove a previously added run). Empty intervals are
 // no-ops; a zero-length interval still occupies one column.
@@ -82,6 +92,7 @@ func (g *Grid) AddHoriz(ch int, iv geom.Interval, delta int32) {
 // AddVert adjusts feedthrough demand at column col for rows rowLo..rowHi
 // (inclusive) by delta.
 func (g *Grid) AddVert(rowLo, rowHi, col int, delta int32) {
+	col = g.clampCol(col)
 	for row := rowLo; row <= rowHi; row++ {
 		g.Ft[row*g.Cols+col] += delta
 	}
@@ -106,11 +117,75 @@ func (g *Grid) HorizAddCost(ch int, iv geom.Interval) int64 {
 // rowLo..rowHi at column col: per crossed row, ftBase plus the clustering
 // penalty 2d (the sum-of-squares increment scaled into the same units).
 func (g *Grid) VertAddCost(rowLo, rowHi, col int, ftBase int64) int64 {
+	col = g.clampCol(col)
 	var cost int64
 	for row := rowLo; row <= rowHi; row++ {
 		cost += ftBase + 2*int64(g.Ft[row*g.Cols+col])
 	}
 	return cost
+}
+
+// SpanCost returns the congestion-cost delta of moving a horizontal run
+// over iv from channel from to channel to, with the run still counted in
+// from: per covered column, the add cost 2*d_to+1 minus the removal credit
+// 2*d_from-1. It equals HorizAddCost(to)-HorizAddCost(from) evaluated with
+// the run removed, but in a single walk and without mutating the grid —
+// the incremental form of the step-2 L-flip evaluation.
+func (g *Grid) SpanCost(from, to int, iv geom.Interval) int64 {
+	if iv.Empty() || from == to {
+		return 0
+	}
+	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
+	fromBase, toBase := from*g.Cols, to*g.Cols
+	var cost int64
+	for col := lo; col <= hi; col++ {
+		cost += 2 * (int64(g.Dens[toBase+col]) - int64(g.Dens[fromBase+col]) + 1)
+	}
+	return cost
+}
+
+// MoveWire moves a horizontal run over iv from channel from to channel to,
+// the mutation matching a negative SpanCost.
+func (g *Grid) MoveWire(from, to int, iv geom.Interval) {
+	if iv.Empty() || from == to {
+		return
+	}
+	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
+	fromBase, toBase := from*g.Cols, to*g.Cols
+	for col := lo; col <= hi; col++ {
+		g.Dens[fromBase+col]--
+		g.Dens[toBase+col]++
+	}
+}
+
+// VertMoveCost returns the cost delta of moving a vertical run crossing
+// rows rowLo..rowHi from column fromCol to column toCol, with the run
+// still counted at fromCol. The ftBase term is crossed-row count times
+// ftBase on both sides, so it cancels; only the clustering penalty
+// remains: per row, 2*(ft_to - ft_from + 1).
+func (g *Grid) VertMoveCost(rowLo, rowHi, fromCol, toCol int) int64 {
+	fromCol, toCol = g.clampCol(fromCol), g.clampCol(toCol)
+	if fromCol == toCol {
+		return 0
+	}
+	var cost int64
+	for row := rowLo; row <= rowHi; row++ {
+		cost += 2 * (int64(g.Ft[row*g.Cols+toCol]) - int64(g.Ft[row*g.Cols+fromCol]) + 1)
+	}
+	return cost
+}
+
+// MoveVert moves a vertical run crossing rows rowLo..rowHi from column
+// fromCol to column toCol.
+func (g *Grid) MoveVert(rowLo, rowHi, fromCol, toCol int) {
+	fromCol, toCol = g.clampCol(fromCol), g.clampCol(toCol)
+	if fromCol == toCol {
+		return
+	}
+	for row := rowLo; row <= rowHi; row++ {
+		g.Ft[row*g.Cols+fromCol]--
+		g.Ft[row*g.Cols+toCol]++
+	}
 }
 
 // FtDemand returns the feedthrough demand at (row, col).

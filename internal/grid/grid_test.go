@@ -53,6 +53,53 @@ func TestColOfClamps(t *testing.T) {
 	}
 }
 
+func TestBoundaryPinColumns(t *testing.T) {
+	// coreWidth 160 with colWidth 16 is a whole number of columns, so a
+	// pin exactly on the right core edge computes 160/16 == 10 == Cols —
+	// one past the last column. ColOf must clamp it into column 9.
+	g := New(2, 160, 16)
+	if got := g.ColOf(160); got != g.Cols-1 {
+		t.Fatalf("right-edge pin maps to column %d, want %d", got, g.Cols-1)
+	}
+	// A non-multiple core width rounds Cols up, so the right edge lands
+	// inside the last column without clamping.
+	g = New(2, 161, 16)
+	if got := g.ColOf(161); got != g.Cols-1 {
+		t.Fatalf("right-edge pin maps to column %d, want %d", got, g.Cols-1)
+	}
+	// Left edge and out-of-core pins.
+	if g.ColOf(0) != 0 || g.ColOf(-1) != 0 || g.ColOf(10000) != g.Cols-1 {
+		t.Fatal("edge pins not clamped")
+	}
+}
+
+func TestVertAPIsClampBoundaryColumn(t *testing.T) {
+	// The vertical APIs take raw columns; a right-edge pin's unclamped
+	// column (== Cols) must not spill into the next row's counters or
+	// index out of range.
+	g := New(3, 160, 16)
+	last := g.Cols - 1
+	g.AddVert(0, 1, g.Cols, 1) // one past the last column
+	if g.FtDemand(0, last) != 1 || g.FtDemand(1, last) != 1 {
+		t.Fatalf("boundary AddVert landed at demand %d/%d, want 1/1",
+			g.FtDemand(0, last), g.FtDemand(1, last))
+	}
+	if g.FtDemand(0, 0) != 0 {
+		t.Fatal("boundary AddVert bled into column 0")
+	}
+	if c := g.VertAddCost(0, 1, g.Cols, 10); c != 2*(10+2) {
+		t.Fatalf("boundary VertAddCost = %d, want %d", c, 2*(10+2))
+	}
+	// Moving from the clamped boundary column to itself is a no-op.
+	if c := g.VertMoveCost(0, 1, g.Cols, last); c != 0 {
+		t.Fatalf("clamped-identity VertMoveCost = %d, want 0", c)
+	}
+	g.MoveVert(0, 1, g.Cols, 0)
+	if g.FtDemand(0, last) != 0 || g.FtDemand(0, 0) != 1 {
+		t.Fatal("boundary MoveVert did not move the run from the edge column")
+	}
+}
+
 func TestAddHorizAndDensity(t *testing.T) {
 	g := New(2, 160, 16)
 	g.AddHoriz(1, geom.NewInterval(0, 47), 1)

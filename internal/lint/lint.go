@@ -149,6 +149,7 @@ func Analyzers() []*Analyzer {
 		analyzerCollectiveCongruence,
 		analyzerTagDiscipline,
 		analyzerSendRecvPairing,
+		analyzerSortOrder,
 	}
 }
 

@@ -2,6 +2,7 @@ package fixture
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -69,6 +70,10 @@ func GateAllowed(c mp.Comm) error {
 
 func MintAllowed(c mp.Comm, v any) error {
 	return c.Send(1, 99, v) //lint:allow tag-discipline fixture: suppressed raw tag
+}
+
+func RankAllowed(ws []weighted) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].W < ws[j].W }) //lint:allow sort-order fixture: suppressed single-key comparator
 }
 
 func DrainAllowed(c mp.Comm) error {

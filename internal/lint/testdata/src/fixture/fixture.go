@@ -6,6 +6,7 @@ package fixture
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,25 @@ func MustPositive(n int) int {
 		panic("fixture: n must be positive")
 	}
 	return n
+}
+
+// weighted is sorted by Rank below; W breaks no ties, so equal-W elements
+// land in input-dependent order.
+type weighted struct {
+	W  int
+	ID int
+}
+
+// Rank violates sort-order: a single-key sort.Slice comparator with no
+// tie-break on the unique ID.
+func Rank(ws []weighted) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].W < ws[j].W })
+}
+
+// RankValues keeps the sort-order check quiet: the whole element is the
+// key, so equal elements are interchangeable.
+func RankValues(vs []int) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 }
 
 // tagFixture is the one well-formed tag of this package: Feed sends it

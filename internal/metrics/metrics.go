@@ -5,7 +5,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"parroute/internal/geom"
@@ -48,11 +48,13 @@ func (w *Wire) OtherChannel() int {
 // (without vertical-constraint conflicts), which is the quantity TWGR
 // minimizes.
 func ChannelDensities(numChannels int, wires []Wire) []int {
-	type event struct {
-		x     int
-		delta int
-	}
-	evs := make([][]event, numChannels)
+	// One flat event slice sorted once replaces the per-channel buckets
+	// with their per-channel reflect-based sorts: consecutive same-channel
+	// runs of the sorted slice are exactly the old buckets. Events pack
+	// into a single int64 key — channel, then x, then open/close in the low
+	// bit (0 = close, so closes sort before opens at the same x) — which
+	// keeps the sort comparator-free.
+	evs := make([]int64, 0, 2*len(wires))
 	for i := range wires {
 		w := &wires[i]
 		if w.Span.Empty() {
@@ -64,25 +66,30 @@ func ChannelDensities(numChannels int, wires []Wire) []int {
 			// channels.
 			panic(fmt.Sprintf("metrics: wire in channel %d of %d", w.Channel, numChannels)) //lint:allow panic-in-library router invariant: wires are produced in range
 		}
-		evs[w.Channel] = append(evs[w.Channel],
-			event{w.Span.Lo, +1}, event{w.Span.Hi + 1, -1})
+		if w.Span.Lo < 0 || w.Span.Hi >= 1<<39 {
+			// Same class of invariant as the channel check: wire spans live
+			// inside the non-negative core extent, which the key packing
+			// relies on.
+			panic(fmt.Sprintf("metrics: wire span [%d,%d] outside packable range", w.Span.Lo, w.Span.Hi)) //lint:allow panic-in-library router invariant: spans are in-core
+		}
+		ch := int64(w.Channel) << 41
+		evs = append(evs, ch|int64(w.Span.Lo)<<1|1, ch|int64(w.Span.Hi+1)<<1)
 	}
+	slices.Sort(evs)
 	dens := make([]int, numChannels)
-	for ch, es := range evs {
-		sort.Slice(es, func(i, j int) bool {
-			if es[i].x != es[j].x {
-				return es[i].x < es[j].x
-			}
-			return es[i].delta < es[j].delta // close before open at same x
-		})
+	for lo := 0; lo < len(evs); {
+		hi := lo
+		ch := evs[lo] >> 41
 		cur, max := 0, 0
-		for _, e := range es {
-			cur += e.delta
+		for hi < len(evs) && evs[hi]>>41 == ch {
+			cur += int(evs[hi]&1)*2 - 1 // low bit: 1 = open (+1), 0 = close (-1)
 			if cur > max {
 				max = cur
 			}
+			hi++
 		}
 		dens[ch] = max
+		lo = hi
 	}
 	return dens
 }

@@ -58,6 +58,25 @@ func DMP() CostModel {
 	}
 }
 
+// Sizer lets a payload type report its simulated wire size directly, so
+// the Virtual engine prices a message without gob-encoding it. The size
+// only feeds the cost model's transfer time — it never alters program
+// behaviour — so a cheap flat-encoding estimate (fixed bytes per field,
+// see frameOverhead) is the right fidelity. Protocols that synchronize
+// every round should implement it on their batch payload types; the
+// per-message encoder setup plus reflective encode otherwise dominates
+// simulated communication.
+type Sizer interface {
+	// WireSize returns the payload's approximate encoded size in bytes,
+	// excluding the fixed message framing.
+	WireSize() int
+}
+
+// frameOverhead approximates the fixed per-message framing of the gob
+// wire format (type headers plus the wireEnv fields) for payloads priced
+// without encoding.
+const frameOverhead = 16
+
 // countingWriter counts bytes written through it.
 type countingWriter struct{ n int }
 
@@ -66,11 +85,31 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// payloadSize measures the wire size of a payload by gob-encoding it into
-// a counter. Unencodable payloads (which would also fail on the TCP
-// engine) are priced at a fixed small size rather than failing — the
-// Virtual engine should never alter program behaviour.
+// payloadSize measures the wire size of a payload: directly for Sizer
+// implementations and the builtin payload shapes the collectives send
+// (flat fixed-width pricing), by gob-encoding into a counter otherwise.
+// Unencodable payloads (which would also fail on the TCP engine) are
+// priced at a fixed small size rather than failing — the Virtual engine
+// should never alter program behaviour.
 func payloadSize(v any) int {
+	switch p := v.(type) {
+	case Sizer:
+		return frameOverhead + p.WireSize()
+	case []int32:
+		return frameOverhead + 4*len(p)
+	case int:
+		return frameOverhead + 8
+	case bool:
+		return frameOverhead + 1
+	case []any:
+		// Collectives relay per-rank values as []any (e.g. Allgather's
+		// Bcast stage); price the elements individually.
+		n := frameOverhead
+		for _, e := range p {
+			n += payloadSize(e)
+		}
+		return n
+	}
 	var cw countingWriter
 	enc := gob.NewEncoder(&cw)
 	if err := enc.Encode(&wireEnv{V: v}); err != nil {

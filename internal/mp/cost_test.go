@@ -1,0 +1,75 @@
+package mp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// sizedPayload implements Sizer with a fixed answer so the fast path is
+// distinguishable from any plausible gob encoding.
+type sizedPayload struct{ N int }
+
+func (p sizedPayload) WireSize() int { return 12345 }
+
+func TestPayloadSizeSizerFastPath(t *testing.T) {
+	if got := payloadSize(sizedPayload{N: 7}); got != frameOverhead+12345 {
+		t.Fatalf("Sizer payload priced at %d, want %d", got, frameOverhead+12345)
+	}
+}
+
+func TestPayloadSizeBuiltinShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want int
+	}{
+		{"int32-slice", []int32{1, 2, 3}, frameOverhead + 12},
+		{"empty-int32-slice", []int32{}, frameOverhead},
+		{"int", 42, frameOverhead + 8},
+		{"bool", true, frameOverhead + 1},
+		{"any-slice", []any{42, true}, frameOverhead + (frameOverhead + 8) + (frameOverhead + 1)},
+	}
+	for _, tc := range cases {
+		if got := payloadSize(tc.v); got != tc.want {
+			t.Errorf("%s priced at %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPayloadSizeGobFallback(t *testing.T) {
+	// A registered type without WireSize falls back to a real gob encode:
+	// the price must match encoding the same wireEnv frame by hand.
+	type plain struct{ A, B int }
+	gob.Register(plain{})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wireEnv{V: plain{A: 1, B: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := payloadSize(plain{A: 1, B: 2}); got != buf.Len() {
+		t.Fatalf("gob fallback priced at %d, want %d", got, buf.Len())
+	}
+}
+
+func TestPayloadSizeUnencodable(t *testing.T) {
+	// Unencodable payloads get a fixed price instead of failing: the
+	// Virtual engine must never alter program behaviour.
+	if got := payloadSize(func() {}); got != 64 {
+		t.Fatalf("unencodable payload priced at %d, want 64", got)
+	}
+}
+
+func TestPayloadSizeSizerScalesWithLength(t *testing.T) {
+	// The batch pricing contract: a Sizer batch twice as long costs twice
+	// the per-element bytes on top of the same frame overhead.
+	one := payloadSize(sizedBatch(1))
+	two := payloadSize(sizedBatch(2))
+	if two-one != one-payloadSize(sizedBatch(0)) {
+		t.Fatalf("batch pricing not linear: 0->%d 1->%d 2->%d",
+			payloadSize(sizedBatch(0)), one, two)
+	}
+}
+
+type sizedBatch int
+
+func (b sizedBatch) WireSize() int { return int(b) * 25 }

@@ -26,15 +26,42 @@ type Edge struct {
 // n == 0 and n == 1 yield an empty tree. The edge list is in the order the
 // nodes were attached, each edge pointing from the new node V to its
 // attachment point U.
+//
+// Callers running Prim in a loop should reuse a Scratch instead; this
+// wrapper allocates fresh working storage per call.
 func Prim(n int, cost func(i, j int) int64) (edges []Edge, forced int) {
+	var s Scratch
+	return s.Prim(n, cost)
+}
+
+// Scratch carries Prim's working storage so repeated runs (one per net in
+// TWGR's step 1) allocate nothing after the first large net. The zero
+// value is ready to use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	inTree []bool
+	best   []int64
+	from   []int
+	edges  []Edge
+}
+
+// Prim is the allocation-reusing form of the package-level Prim. The
+// returned edge slice is the Scratch's own buffer and is valid only until
+// the next call — callers that retain edges must copy them.
+func (s *Scratch) Prim(n int, cost func(i, j int) int64) (edges []Edge, forced int) {
 	if n <= 1 {
 		return nil, 0
 	}
 	const unset = -1
-	inTree := make([]bool, n)
-	best := make([]int64, n)
-	from := make([]int, n)
+	if cap(s.inTree) < n {
+		s.inTree = make([]bool, n)
+		s.best = make([]int64, n)
+		s.from = make([]int, n)
+	}
+	inTree := s.inTree[:n]
+	best := s.best[:n]
+	from := s.from[:n]
 	for i := range best {
+		inTree[i] = false
 		best[i] = math.MaxInt64
 		from[i] = unset
 	}
@@ -43,7 +70,7 @@ func Prim(n int, cost func(i, j int) int64) (edges []Edge, forced int) {
 		best[j] = cost(0, j)
 		from[j] = 0
 	}
-	edges = make([]Edge, 0, n-1)
+	edges = s.edges[:0]
 	for len(edges) < n-1 {
 		// Pick the cheapest fringe node.
 		v, vc := unset, int64(math.MaxInt64)
@@ -78,6 +105,7 @@ func Prim(n int, cost func(i, j int) int64) (edges []Edge, forced int) {
 			}
 		}
 	}
+	s.edges = edges
 	return edges, forced
 }
 

@@ -38,8 +38,8 @@ func (s *stopwatch) lap(name string) {
 // Steiner tree and, wherever a segment's vertical run passes a partition
 // boundary, emit a fake-pin spec for each of the two adjacent blocks at
 // the crossing column (Figure 2). Returns one spec list per block.
-func computeCrossings(c *circuit.Circuit, blocks []partition.RowBlock, owner []int, rank int) [][]FakePinSpec {
-	specs := make([][]FakePinSpec, len(blocks))
+func computeCrossings(c *circuit.Circuit, blocks []partition.RowBlock, owner []int, rank int) []FakePinBatch {
+	specs := make([]FakePinBatch, len(blocks))
 	if len(blocks) == 1 {
 		return specs
 	}
@@ -109,7 +109,7 @@ func computeCrossings(c *circuit.Circuit, blocks []partition.RowBlock, owner []i
 
 // exchangeFakePins all-to-alls the fake-pin specs and returns this rank's,
 // concatenated in source-rank order (deterministic).
-func exchangeFakePins(comm mp.Comm, specs [][]FakePinSpec) ([]FakePinSpec, error) {
+func exchangeFakePins(comm mp.Comm, specs []FakePinBatch) ([]FakePinSpec, error) {
 	vs := make([]any, comm.Size())
 	for k := range vs {
 		vs[k] = specs[k]
@@ -120,7 +120,7 @@ func exchangeFakePins(comm mp.Comm, specs [][]FakePinSpec) ([]FakePinSpec, error
 	}
 	var mine []FakePinSpec
 	for r, raw := range in {
-		batch, ok := raw.([]FakePinSpec)
+		batch, ok := raw.(FakePinBatch)
 		if !ok {
 			return nil, fmt.Errorf("parallel: fake pins from rank %d arrived as %T", r, raw)
 		}
@@ -369,7 +369,7 @@ func maxPhases(summaries []any) []metrics.Phase {
 func collectNodes(in []any) (map[int][]route.Node, error) {
 	byNet := make(map[int][]route.Node)
 	for r, raw := range in {
-		batch, ok := raw.([]NodeMsg)
+		batch, ok := raw.(NodeBatch)
 		if !ok {
 			return nil, fmt.Errorf("parallel: nodes from rank %d arrived as %T", r, raw)
 		}

@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parroute/internal/circuit"
+	"parroute/internal/gen"
+	"parroute/internal/mp"
+	"parroute/internal/route"
+)
+
+// TestGoldenMetrics pins the routing output — not just run-to-run, like
+// TestDeterministicMetricsAcrossRuns, but across code changes: the metrics
+// JSON (wall-clock fields zeroed) must stay byte-identical to the
+// committed goldens captured before the PR-4 hot-path optimizations. Any
+// "optimization" that alters a routing decision shows up here as a diff.
+//
+// Refresh (only when an intentional quality change lands) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/parallel -run TestGoldenMetrics
+func TestGoldenMetrics(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+
+	primary2, err := gen.Benchmark("primary2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"small", gen.Small(42)},
+		{"primary2", primary2},
+	}
+
+	for _, tc := range circuits {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunBaseline(tc.c, Options{Procs: 1, Route: route.Options{Seed: 7}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("%s-serial.json", tc.name), resultBytes(t, res), update)
+
+			for _, algo := range Algorithms() {
+				for _, procs := range []int{1, 2, 4} {
+					res, err := Run(tc.c, Options{
+						Algo:  algo,
+						Procs: procs,
+						Mode:  mp.Inproc,
+						Route: route.Options{Seed: 7},
+					})
+					if err != nil {
+						t.Fatalf("%v procs=%d: %v", algo, procs, err)
+					}
+					name := fmt.Sprintf("%s-%v-p%d.json", tc.name, algo, procs)
+					checkGolden(t, name, resultBytes(t, res), update)
+				}
+			}
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte, update bool) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1 to create): %v", name, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s: metrics JSON differs from committed golden (len %d vs %d); "+
+			"routing output changed — if intentional, refresh with UPDATE_GOLDEN=1",
+			name, len(want), len(got))
+	}
+}

@@ -51,7 +51,7 @@ func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlo
 	// feedthroughs in this block, with authoritative post-insertion
 	// coordinates; fake pins are splitting artifacts and stay home) to the
 	// net's owner, which connects the whole net at once.
-	contrib := make([][]NodeMsg, comm.Size())
+	contrib := make([]NodeBatch, comm.Size())
 	for n := range sub.Nets {
 		dest := owner[n]
 		for _, pid := range sub.Nets[n].Pins {

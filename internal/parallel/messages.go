@@ -35,6 +35,14 @@ type FakePinSpec struct {
 	Side circuit.Side
 }
 
+// FakePinBatch is the slice form FakePinSpecs travel in. The named type
+// carries the WireSize fast path (see mp.Sizer) so the Virtual engine
+// prices sync rounds without encoding each batch.
+type FakePinBatch []FakePinSpec
+
+// WireSize prices each spec at its flat field width (3 ints + side byte).
+func (b FakePinBatch) WireSize() int { return len(b) * 25 }
+
 // CrossingMsg tells a row owner that a segment of Net crosses Row at
 // column X and needs a feedthrough there (net-wise algorithm, step 3).
 type CrossingMsg struct {
@@ -42,6 +50,12 @@ type CrossingMsg struct {
 	X   int
 	Row int
 }
+
+// CrossingBatch is the slice form CrossingMsgs travel in; see FakePinBatch.
+type CrossingBatch []CrossingMsg
+
+// WireSize prices each crossing at its flat field width (3 ints).
+func (b CrossingBatch) WireSize() int { return len(b) * 24 }
 
 // FtNodeMsg returns an assigned feedthrough to a net owner: a step-4 node
 // at (X, Row) reachable from both adjacent channels.
@@ -61,11 +75,21 @@ type NodeMsg struct {
 	Side circuit.Side
 }
 
+// NodeBatch is the slice form NodeMsgs travel in; see FakePinBatch.
+type NodeBatch []NodeMsg
+
+// WireSize prices each node at its flat field width (3 ints + side byte).
+func (b NodeBatch) WireSize() int { return len(b) * 25 }
+
 // WireBatch carries final wires from a worker to rank 0 (or between
 // workers when redistributing by channel owner).
 type WireBatch struct {
 	Wires []metrics.Wire
 }
+
+// WireSize prices each wire at its flat field width (9 ints + flag byte);
+// see FakePinBatch.
+func (b WireBatch) WireSize() int { return len(b.Wires) * 73 }
 
 // RowWidthMsg reports the post-insertion width of one owned row.
 type RowWidthMsg struct {
@@ -87,13 +111,19 @@ type Summary struct {
 	Phases []metrics.Phase
 }
 
+// WireSize prices the fixed counters plus the variable-length tails; see
+// FakePinBatch.
+func (s Summary) WireSize() int {
+	return 6*8 + len(s.RowWidths)*16 + len(s.Phases)*24
+}
+
 func init() {
 	// Register every payload type so the TCP engine (and the Virtual
 	// engine's size accounting) can gob-encode them.
-	mp.RegisterPayload([]FakePinSpec{})
-	mp.RegisterPayload([]CrossingMsg{})
+	mp.RegisterPayload(FakePinBatch{})
+	mp.RegisterPayload(CrossingBatch{})
 	mp.RegisterPayload([]FtNodeMsg{})
-	mp.RegisterPayload([]NodeMsg{})
+	mp.RegisterPayload(NodeBatch{})
 	mp.RegisterPayload(WireBatch{})
 	mp.RegisterPayload(Summary{})
 	mp.RegisterPayload([]int32{})

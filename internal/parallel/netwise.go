@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"parroute/internal/circuit"
+	"parroute/internal/geom"
 	"parroute/internal/grid"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
@@ -63,30 +64,50 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	if err != nil {
 		return fmt.Errorf("netwise: grid sync: %w", err)
 	}
-	cands := make([]int, 0, len(segs))
+	// Flip candidates with their static geometry cached, as in the serial
+	// step 2: the span and endpoint columns never change before insertion,
+	// so the sweep evaluates each flip as one incremental grid walk.
+	type flipCand struct {
+		seg        int
+		span       geom.Interval
+		colP, colQ int
+	}
+	cands := make([]flipCand, 0, len(segs))
 	for i := range segs {
-		if segs[i].HasBend() && segs[i].XP != segs[i].XQ {
-			cands = append(cands, i)
+		ps := &segs[i]
+		if ps.HasBend() && ps.XP != ps.XQ {
+			cands = append(cands, flipCand{
+				seg:  i,
+				span: geom.NewInterval(ps.XP, ps.XQ),
+				colP: shared.ColOf(ps.XP),
+				colQ: shared.ColOf(ps.XQ),
+			})
 		}
 	}
 	coarseFlips := 0
+	perm := make([]int, len(cands))
 	for pass := 0; pass < ropt.CoarsePasses; pass++ {
-		perm := rnd.Perm(len(cands))
+		rnd.PermInto(perm)
 		passFlips := 0
 		err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
 			for _, pi := range perm[lo:hi] {
-				ps := &segs[cands[pi]]
-				cur := ps.CurrentRuns()
-				route.ApplyRuns(shared, cur, -1)
-				alt := ps.RunsFor(!ps.BendAtP)
-				if route.RunsCost(shared, alt, ropt.FtBase) < route.RunsCost(shared, cur, ropt.FtBase) {
+				fc := &cands[pi]
+				ps := &segs[fc.seg]
+				chFrom, chTo := ps.CP, ps.CQ
+				fromCol, toCol := fc.colQ, fc.colP
+				if ps.BendAtP {
+					chFrom, chTo = ps.CQ, ps.CP
+					fromCol, toCol = fc.colP, fc.colQ
+				}
+				delta := shared.SpanCost(chFrom, chTo, fc.span) +
+					shared.VertMoveCost(ps.CP, ps.CQ-1, fromCol, toCol)
+				if delta < 0 {
 					ps.BendAtP = !ps.BendAtP
-					route.ApplyRuns(shared, alt, 1)
-					route.ApplyRuns(own, cur, -1)
-					route.ApplyRuns(own, alt, 1)
+					shared.MoveWire(chFrom, chTo, fc.span)
+					shared.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
+					own.MoveWire(chFrom, chTo, fc.span)
+					own.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
 					passFlips++
-				} else {
-					route.ApplyRuns(shared, cur, 1)
 				}
 			}
 			if opt.NetwiseSyncPerPass > 0 {
@@ -137,7 +158,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	}
 
 	// Phase 3b: ship crossings to row owners for assignment.
-	cross := make([][]CrossingMsg, size)
+	cross := make([]CrossingBatch, size)
 	for i := range segs {
 		runs := segs[i].CurrentRuns()
 		if !runs.HasVert() {
@@ -156,9 +177,9 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	if err != nil {
 		return fmt.Errorf("netwise: crossing exchange: %w", err)
 	}
-	byRow := make([][]CrossingMsg, len(sub.Rows))
+	byRow := make([]CrossingBatch, len(sub.Rows))
 	for r, raw := range in {
-		batch, ok := raw.([]CrossingMsg)
+		batch, ok := raw.(CrossingBatch)
 		if !ok {
 			return fmt.Errorf("parallel: crossings from rank %d arrived as %T", r, raw)
 		}
@@ -169,7 +190,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 
 	// Assign per row (sorted matching, as in the serial step 3) and route
 	// each assigned feedthrough back to the net's owner as a step-4 node.
-	ftNodes := make([][]NodeMsg, size)
+	ftNodes := make([]NodeBatch, size)
 	for row := block.Lo; row <= block.Hi; row++ {
 		crossings := byRow[row]
 		sort.SliceStable(crossings, func(i, j int) bool {
@@ -179,7 +200,15 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 			return crossings[i].Net < crossings[j].Net
 		})
 		fts := ftByRow[row]
-		sort.Slice(fts, func(i, j int) bool { return sub.Pins[fts[i]].X < sub.Pins[fts[j]].X })
+		sort.Slice(fts, func(i, j int) bool {
+			if xi, xj := sub.Pins[fts[i]].X, sub.Pins[fts[j]].X; xi != xj {
+				return xi < xj
+			}
+			// Same-x feedthrough pins are interchangeable for routing, but
+			// break the tie by pin ID so the binding permutation is
+			// deterministic rather than sort-internal.
+			return fts[i] < fts[j]
+		})
 		for i, cr := range crossings {
 			var pinID int
 			if i < len(fts) {
@@ -198,7 +227,7 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	// Phase 4: pin nodes to net owners, then whole-net connection. Row
 	// owners ship authoritative (post-insertion) pin coordinates so all of
 	// a net's geometry lives in one coherent frame at its owner.
-	pinNodes := make([][]NodeMsg, size)
+	pinNodes := make([]NodeBatch, size)
 	for n := range sub.Nets {
 		dest := owner[n]
 		for _, pid := range sub.Nets[n].Pins {

@@ -109,11 +109,18 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)). It draws
+// exactly the values Perm(len(p)) draws, so callers can switch between the
+// two (e.g. to reuse a scratch buffer) without changing the stream.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
 }
 
 // NormInt returns an integer drawn from an approximately normal distribution

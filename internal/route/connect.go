@@ -1,7 +1,8 @@
 package route
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"parroute/internal/circuit"
 	"parroute/internal/geom"
@@ -91,6 +92,54 @@ func connSpan(a, b int) geom.Interval {
 // tree edges and the number of forced (non-adjacent) edges, which is zero
 // whenever feedthrough assignment covered every row gap.
 //
+// occ, when non-nil, is the live channel occupancy the caller streams its
+// nets through: switchable connections pick the cheaper of their two
+// candidate channels against it, and every produced wire is added to it.
+// A nil occ places switchable connections in their lower channel.
+//
+// Callers connecting many nets should reuse a Connector instead; this
+// wrapper allocates fresh scratch per call.
+func ConnectNodes(netID int, nodes []Node, occ *Occupancy) (conns []Connection, forced int) {
+	var cn Connector
+	return cn.Connect(netID, nodes, occ)
+}
+
+// Connector carries the reusable scratch of ConnectNodes so step 4 runs
+// allocation-free per net. The zero value is ready to use; a Connector is
+// not safe for concurrent use.
+type Connector struct {
+	entries []chEntry
+	cands   []connCand
+	keys    []int64
+	uf      unionFind
+	conns   []Connection
+}
+
+// chEntry is one (channel, node) incidence; nodes touching two channels
+// produce two entries.
+type chEntry struct {
+	ch, x, idx int
+}
+
+// connCand is one candidate MST edge.
+type connCand struct {
+	w    int64
+	u, v int
+}
+
+// Bit budget of the packed int64 sort keys: node index in the low bits,
+// then x (or edge weight), then channel. Inputs beyond these bounds — a
+// million pins on one net, 2^31 x units, 4095 channels, 2^23-unit edge
+// weights — take the comparator-based fallback sort instead.
+const (
+	packIdxBits = 20
+	packXBits   = 31
+)
+
+// Connect computes the step-4 tree of one net; see ConnectNodes. The
+// returned slice is the Connector's scratch and is valid only until the
+// next Connect call — callers that retain connections must copy them.
+//
 // The MST is computed exactly without materializing the complete graph:
 // within one channel the |dx| metric is one-dimensional, so some MST uses
 // only consecutive-by-x pairs; Kruskal over those candidates (O(n log n))
@@ -98,59 +147,99 @@ func connSpan(a, b int) geom.Interval {
 // nets. Disconnected adjacency components (which a correct feedthrough
 // assignment never produces) are chained with Forced edges so every net
 // stays electrically complete.
-// occ, when non-nil, is the live channel occupancy the caller streams its
-// nets through: switchable connections pick the cheaper of their two
-// candidate channels against it, and every produced wire is added to it.
-// A nil occ places switchable connections in their lower channel.
-func ConnectNodes(netID int, nodes []Node, occ *Occupancy) (conns []Connection, forced int) {
+func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []Connection, forced int) {
 	if len(nodes) < 2 {
 		return nil, 0
 	}
 
-	// Bucket node indices by the channels they touch.
-	buckets := make(map[int][]int)
+	// One sorted pass over (channel, x, index) incidences replaces the
+	// per-channel bucket maps: consecutive entries of the same channel are
+	// exactly the consecutive-by-x pairs of that channel's bucket. When the
+	// values fit the key bit budget (always, for realistic circuits) both
+	// sorts run comparator-free over packed int64 keys — net connection is
+	// dominated by sorting many tiny slices, where the generic comparator
+	// machinery costs more than the sort itself.
+	entries := cn.entries[:0]
+	pack := len(nodes) <= 1<<packIdxBits
 	for i := range nodes {
 		lo, hi, _ := nodes[i].Channels()
-		buckets[lo] = append(buckets[lo], i)
+		if nodes[i].X < 0 || nodes[i].X >= 1<<packXBits || hi >= 1<<(63-packIdxBits-packXBits) {
+			pack = false
+		}
+		entries = append(entries, chEntry{ch: lo, x: nodes[i].X, idx: i})
 		if hi != lo {
-			buckets[hi] = append(buckets[hi], i)
+			entries = append(entries, chEntry{ch: hi, x: nodes[i].X, idx: i})
 		}
 	}
-	type cand struct {
-		w    int64
-		u, v int
-	}
-	var cands []cand
-	chs := make([]int, 0, len(buckets))
-	for ch := range buckets {
-		chs = append(chs, ch)
-	}
-	sort.Ints(chs)
-	for _, ch := range chs {
-		b := buckets[ch]
-		sort.Slice(b, func(i, j int) bool {
-			if nodes[b[i]].X != nodes[b[j]].X {
-				return nodes[b[i]].X < nodes[b[j]].X
+	if pack {
+		keys := cn.keys[:0]
+		for _, e := range entries {
+			keys = append(keys, int64(e.ch)<<(packIdxBits+packXBits)|int64(e.x)<<packIdxBits|int64(e.idx))
+		}
+		slices.Sort(keys)
+		for i, k := range keys {
+			entries[i] = chEntry{
+				ch:  int(k >> (packIdxBits + packXBits)),
+				x:   int(k >> packIdxBits & (1<<packXBits - 1)),
+				idx: int(k & (1<<packIdxBits - 1)),
 			}
-			return b[i] < b[j]
+		}
+		cn.keys = keys
+	} else {
+		slices.SortFunc(entries, func(a, b chEntry) int {
+			if a.ch != b.ch {
+				return cmp.Compare(a.ch, b.ch)
+			}
+			if a.x != b.x {
+				return cmp.Compare(a.x, b.x)
+			}
+			return cmp.Compare(a.idx, b.idx)
 		})
-		for i := 1; i < len(b); i++ {
-			u, v := b[i-1], b[i]
-			cands = append(cands, cand{w: int64(geom.Abs(nodes[u].X - nodes[v].X)), u: u, v: v})
-		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].w != cands[j].w {
-			return cands[i].w < cands[j].w
-		}
-		if cands[i].u != cands[j].u {
-			return cands[i].u < cands[j].u
-		}
-		return cands[i].v < cands[j].v
-	})
+	cn.entries = entries
 
-	uf := newUnionFind(len(nodes))
-	conns = make([]Connection, 0, len(nodes)-1)
+	cands := cn.cands[:0]
+	packCands := pack
+	for i := 1; i < len(entries); i++ {
+		if entries[i].ch != entries[i-1].ch {
+			continue
+		}
+		w := int64(entries[i].x - entries[i-1].x)
+		if w >= 1<<(63-2*packIdxBits) {
+			packCands = false
+		}
+		cands = append(cands, connCand{w: w, u: entries[i-1].idx, v: entries[i].idx})
+	}
+	if packCands {
+		keys := cn.keys[:0]
+		for _, c := range cands {
+			keys = append(keys, c.w<<(2*packIdxBits)|int64(c.u)<<packIdxBits|int64(c.v))
+		}
+		slices.Sort(keys)
+		for i, k := range keys {
+			cands[i] = connCand{
+				w: k >> (2 * packIdxBits),
+				u: int(k >> packIdxBits & (1<<packIdxBits - 1)),
+				v: int(k & (1<<packIdxBits - 1)),
+			}
+		}
+		cn.keys = keys
+	} else {
+		slices.SortFunc(cands, func(a, b connCand) int {
+			if a.w != b.w {
+				return cmp.Compare(a.w, b.w)
+			}
+			if a.u != b.u {
+				return cmp.Compare(a.u, b.u)
+			}
+			return cmp.Compare(a.v, b.v)
+		})
+	}
+	cn.cands = cands
+
+	uf := &cn.uf
+	uf.reset(len(nodes))
+	conns = cn.conns[:0]
 	for _, e := range cands {
 		if !uf.union(e.u, e.v) {
 			continue
@@ -199,6 +288,7 @@ func ConnectNodes(netID int, nodes []Node, occ *Occupancy) (conns []Connection, 
 			prev = i
 		}
 	}
+	cn.conns = conns
 	return conns, forced
 }
 
@@ -208,11 +298,21 @@ type unionFind struct {
 }
 
 func newUnionFind(n int) *unionFind {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	uf := &unionFind{}
+	uf.reset(n)
+	return uf
+}
+
+// reset re-initializes the structure for n singleton sets, reusing the
+// parent slice when it is large enough.
+func (u *unionFind) reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
 	}
-	return &unionFind{parent: p}
+	u.parent = u.parent[:n]
+	for i := range u.parent {
+		u.parent[i] = i
+	}
 }
 
 func (u *unionFind) find(x int) int {

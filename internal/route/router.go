@@ -1,10 +1,12 @@
 package route
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"parroute/internal/circuit"
+	"parroute/internal/geom"
 	"parroute/internal/grid"
 	"parroute/internal/metrics"
 	"parroute/internal/rng"
@@ -76,8 +78,19 @@ func (rt *Router) timePhase(name string, f func()) {
 // flattened into placed segments with resolved channel access.
 func (rt *Router) BuildTrees() {
 	rt.timePhase("steiner", func() {
+		// Each k-pin net contributes exactly k-1 segments.
+		total := 0
 		for n := range rt.C.Nets {
-			for _, seg := range steiner.BuildNet(rt.C, n) {
+			if k := len(rt.C.Nets[n].Pins); k >= 2 {
+				total += k - 1
+			}
+		}
+		rt.Segs = slices.Grow(rt.Segs, total)
+		var b steiner.Builder
+		var segBuf []steiner.Segment
+		for n := range rt.C.Nets {
+			segBuf = b.AppendNet(segBuf[:0], rt.C, n)
+			for _, seg := range segBuf {
 				rt.Segs = append(rt.Segs, place(rt.C, seg))
 			}
 		}
@@ -112,33 +125,62 @@ func (rt *Router) CoarseRoute() {
 	})
 }
 
+// flipCand caches the static geometry of one flippable segment so the
+// sweep's inner loop touches no segment geometry beyond the bend bit: the
+// full horizontal span and the grid columns of the two endpoints.
+type flipCand struct {
+	seg        int
+	span       geom.Interval
+	colP, colQ int
+}
+
 // improveBends runs random improvement sweeps over the segments with a
 // bend choice; grid must already contain all segments. Returns flip count.
+//
+// Flip deltas are evaluated incrementally: with the bend at one endpoint
+// the horizontal span always lies whole in the far endpoint's channel
+// (RunsFor leaves the near run empty), so a flip moves the full span
+// between CP and CQ and the vertical run between the two endpoint columns.
+// Grid.SpanCost/VertMoveCost price that in one walk without mutating the
+// grid — the same value the remove/price-both/re-add evaluation produced,
+// so flip decisions (and the rng stream) are unchanged. The ftBase term
+// cancels: both orientations cross the same rows.
 func improveBends(g *grid.Grid, segs []PlacedSeg, r *rng.RNG, passes int, ftBase int64) int {
-	candidates := make([]int, 0, len(segs))
+	_ = ftBase // cancels out of the incremental delta; kept for signature stability
+	cands := make([]flipCand, 0, len(segs))
 	for i := range segs {
-		if segs[i].HasBend() && segs[i].XP != segs[i].XQ {
-			candidates = append(candidates, i)
+		ps := &segs[i]
+		if ps.HasBend() && ps.XP != ps.XQ {
+			cands = append(cands, flipCand{
+				seg:  i,
+				span: geom.NewInterval(ps.XP, ps.XQ),
+				colP: g.ColOf(ps.XP),
+				colQ: g.ColOf(ps.XQ),
+			})
 		}
 	}
 	flips := 0
+	perm := make([]int, len(cands))
 	for pass := 0; pass < passes; pass++ {
-		perm := r.Perm(len(candidates))
+		r.PermInto(perm)
 		improved := false
 		for _, pi := range perm {
-			ps := &segs[candidates[pi]]
-			cur := ps.CurrentRuns()
-			addRuns(g, cur, -1)
-			alt := ps.RunsFor(!ps.BendAtP)
-			costCur := runsCost(g, cur, ftBase)
-			costAlt := runsCost(g, alt, ftBase)
-			if costAlt < costCur {
+			fc := &cands[pi]
+			ps := &segs[fc.seg]
+			chFrom, chTo := ps.CP, ps.CQ
+			fromCol, toCol := fc.colQ, fc.colP
+			if ps.BendAtP {
+				chFrom, chTo = ps.CQ, ps.CP
+				fromCol, toCol = fc.colP, fc.colQ
+			}
+			delta := g.SpanCost(chFrom, chTo, fc.span) +
+				g.VertMoveCost(ps.CP, ps.CQ-1, fromCol, toCol)
+			if delta < 0 {
+				g.MoveWire(chFrom, chTo, fc.span)
+				g.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
 				ps.BendAtP = !ps.BendAtP
-				addRuns(g, alt, 1)
 				flips++
 				improved = true
-			} else {
-				addRuns(g, cur, 1)
 			}
 		}
 		if !improved {
@@ -154,16 +196,30 @@ func improveBends(g *grid.Grid, segs []PlacedSeg, r *rng.RNG, passes int, ftBase
 func (rt *Router) InsertFeedthroughs() {
 	rt.timePhase("ft-insert", func() {
 		rt.FtPinsByRow = make([][]int, len(rt.C.Rows))
+		// Pre-size the circuit tables for the total demand, then insert in
+		// deferred mode: cell-attached pin positions are re-synced once at
+		// the end instead of per insertion.
+		rowCounts := make([]int, rt.Grid.Rows)
+		total := 0
 		for row := 0; row < rt.Grid.Rows; row++ {
+			for col := 0; col < rt.Grid.Cols; col++ {
+				rowCounts[row] += rt.Grid.FtDemand(row, col)
+			}
+			total += rowCounts[row]
+		}
+		rt.C.GrowForFeedthroughs(total, rowCounts)
+		for row := 0; row < rt.Grid.Rows; row++ {
+			rt.FtPinsByRow[row] = make([]int, 0, rowCounts[row])
 			for col := 0; col < rt.Grid.Cols; col++ {
 				demand := rt.Grid.FtDemand(row, col)
 				for i := 0; i < demand; i++ {
-					pin := rt.C.InsertFeedthrough(row, rt.Grid.ColCenter(col), circuit.NoNet)
+					pin := rt.C.InsertFeedthroughDeferred(row, rt.Grid.ColCenter(col), circuit.NoNet)
 					rt.FtPinsByRow[row] = append(rt.FtPinsByRow[row], pin)
 					rt.InsertedFts++
 				}
 			}
 		}
+		rt.C.SyncPinX()
 		rt.refreshSegs()
 	})
 }
@@ -201,17 +257,40 @@ func (rt *Router) AssignFeedthroughs() {
 				byRow[row] = append(byRow[row], crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i})
 			}
 		}
+		// Every crossing binds one feedthrough pin to its net; growing the
+		// nets' pin lists up front keeps the binding loop append-free.
+		netExtra := make(map[int]int)
+		for row := range byRow {
+			for _, cr := range byRow[row] {
+				netExtra[cr.net]++
+			}
+		}
+		for n, extra := range netExtra {
+			rt.C.Nets[n].Pins = slices.Grow(rt.C.Nets[n].Pins, extra)
+		}
 		for row := range byRow {
 			crossings := byRow[row]
-			sort.Slice(crossings, func(i, j int) bool {
-				if crossings[i].x != crossings[j].x {
-					return crossings[i].x < crossings[j].x
+			slices.SortFunc(crossings, func(a, b crossing) int {
+				if a.x != b.x {
+					return cmp.Compare(a.x, b.x)
 				}
-				return crossings[i].net < crossings[j].net
+				if a.net != b.net {
+					return cmp.Compare(a.net, b.net)
+				}
+				// Two same-net segments can cross a row at the same x; the
+				// segment index makes the order (and thus the pin binding)
+				// independent of sort internals.
+				return cmp.Compare(a.seg, b.seg)
 			})
 			fts := rt.FtPinsByRow[row]
-			sort.Slice(fts, func(i, j int) bool {
-				return rt.C.Pins[fts[i]].X < rt.C.Pins[fts[j]].X
+			slices.SortFunc(fts, func(a, b int) int {
+				if ax, bx := rt.C.Pins[a].X, rt.C.Pins[b].X; ax != bx {
+					return cmp.Compare(ax, bx)
+				}
+				// Same-x feedthrough pins are interchangeable for routing,
+				// but break the tie by pin ID so the binding permutation is
+				// deterministic rather than sort-internal.
+				return cmp.Compare(a, b)
 			})
 			for i, cr := range crossings {
 				var pinID int
@@ -253,18 +332,32 @@ func (rt *Router) ConnectNets() {
 	rt.timePhase("connect", func() {
 		occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
 		rt.NetNodes = make([][]Node, len(rt.C.Nets))
+		// A k-node net yields exactly k-1 connections, so the output size
+		// is known up front; per-net node lists carve out of one arena.
+		total, totalNodes := 0, 0
+		for n := range rt.C.Nets {
+			if k := len(rt.C.Nets[n].Pins); k >= 2 {
+				total += k - 1
+				totalNodes += k
+			}
+		}
+		rt.Conns = slices.Grow(rt.Conns, total)
+		rt.Wires = slices.Grow(rt.Wires, total)
+		arena := make([]Node, 0, totalNodes)
+		var cn Connector
 		for n := range rt.C.Nets {
 			pins := rt.C.Nets[n].Pins
 			if len(pins) < 2 {
 				continue
 			}
-			nodes := make([]Node, len(pins))
+			nodes := arena[len(arena) : len(arena)+len(pins) : len(arena)+len(pins)]
+			arena = arena[:len(arena)+len(pins)]
 			for i, pid := range pins {
 				p := &rt.C.Pins[pid]
 				nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
 			}
 			rt.NetNodes[n] = nodes
-			conns, forced := ConnectNodes(n, nodes, occ)
+			conns, forced := cn.Connect(n, nodes, occ)
 			rt.ForcedEdges += forced
 			for i := range conns {
 				rt.Conns = append(rt.Conns, conns[i])

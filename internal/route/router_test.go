@@ -1,6 +1,7 @@
 package route
 
 import (
+	"strings"
 	"testing"
 
 	"parroute/internal/circuit"
@@ -339,6 +340,47 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	check("circuit-corruption", func(rt *Router) {
 		rt.C.Pins[0].X += 1000
 	})
+}
+
+// TestVerifyNamesFeedthroughCounter pins the PR 4 invariant: a nonzero
+// ExtraFts or UnboundFts is a hard Verify failure whose message names the
+// broken counter, even when every other invariant still holds.
+func TestVerifyNamesFeedthroughCounter(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(rt *Router)
+		want    string
+	}{
+		{"extra-fts", func(rt *Router) { rt.ExtraFts = 2 }, "not covered by the demand estimate"},
+		{"unbound-fts", func(rt *Router) { rt.UnboundFts = 1 }, "never bound"},
+	}
+	for _, tc := range cases {
+		_, rt, _ := routeSmall(t, 11)
+		tc.corrupt(rt)
+		err := rt.Verify()
+		if err == nil {
+			t.Fatalf("%s: Verify accepted a nonzero counter", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the counter (want substring %q)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFeedthroughCountersZeroAcrossSeeds runs the full pipeline over a
+// spread of generated circuits and requires the feedthrough bookkeeping to
+// close exactly every time: demand estimation covers all crossings and
+// every inserted feedthrough is bound.
+func TestFeedthroughCountersZeroAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		_, rt, _ := routeSmall(t, seed)
+		if rt.ExtraFts != 0 || rt.UnboundFts != 0 {
+			t.Errorf("seed %d: ExtraFts=%d UnboundFts=%d, want 0/0", seed, rt.ExtraFts, rt.UnboundFts)
+		}
+		if err := rt.Verify(); err != nil {
+			t.Errorf("seed %d: Verify: %v", seed, err)
+		}
+	}
 }
 
 func TestQualityIndependentOfNetOrder(t *testing.T) {

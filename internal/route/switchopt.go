@@ -18,6 +18,14 @@ type Occupancy struct {
 	Cols     int
 	ColWidth int
 	occ      []int32
+	// chMax caches each channel's peak column count, and chPeakCnt how many
+	// columns attain it, so AddCost and MoveCost only walk the affected
+	// span. A cache entry is maintained through non-negative Adds (the peak
+	// can only grow toward the span's new values) and invalidated by
+	// anything that can lower counts; channelMax recomputes lazily.
+	chMax     []int32
+	chPeakCnt []int32
+	chMaxOK   []bool
 }
 
 // NewOccupancy returns an empty occupancy table.
@@ -28,8 +36,36 @@ func NewOccupancy(channels, coreWidth, colWidth int) *Occupancy {
 		panic(fmt.Sprintf("route: occupancy colWidth %d must be positive", colWidth)) //lint:allow panic-in-library documented constructor invariant
 	}
 	cols := (geom.Max(coreWidth, 1) + colWidth - 1) / colWidth
-	return &Occupancy{Channels: channels, Cols: cols, ColWidth: colWidth,
-		occ: make([]int32, channels*cols)}
+	o := &Occupancy{Channels: channels, Cols: cols, ColWidth: colWidth,
+		occ:   make([]int32, channels*cols),
+		chMax: make([]int32, channels), chPeakCnt: make([]int32, channels),
+		chMaxOK: make([]bool, channels)}
+	for ch := range o.chMaxOK {
+		o.chMaxOK[ch] = true // empty channels peak at 0, on every column
+		o.chPeakCnt[ch] = int32(cols)
+	}
+	return o
+}
+
+// channelMax returns the peak column count of channel ch, recomputing the
+// cache (peak and peak-column count) if it was invalidated.
+func (o *Occupancy) channelMax(ch int) int32 {
+	if !o.chMaxOK[ch] {
+		base := ch * o.Cols
+		var m, cnt int32
+		for col := 0; col < o.Cols; col++ {
+			switch v := o.occ[base+col]; {
+			case v > m:
+				m, cnt = v, 1
+			case v == m:
+				cnt++
+			}
+		}
+		o.chMax[ch] = m
+		o.chPeakCnt[ch] = cnt
+		o.chMaxOK[ch] = true
+	}
+	return o.chMax[ch]
 }
 
 func (o *Occupancy) colOf(x int) int { return geom.Clamp(x/o.ColWidth, 0, o.Cols-1) }
@@ -41,8 +77,26 @@ func (o *Occupancy) Add(ch int, span geom.Interval, delta int32) {
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
 	base := ch * o.Cols
+	if delta < 0 {
+		o.chMaxOK[ch] = false // the peak may shrink; recompute on demand
+		for col := lo; col <= hi; col++ {
+			o.occ[base+col] += delta
+		}
+		return
+	}
 	for col := lo; col <= hi; col++ {
 		o.occ[base+col] += delta
+		if o.chMaxOK[ch] {
+			switch v := o.occ[base+col]; {
+			case v > o.chMax[ch]:
+				o.chMax[ch] = v
+				o.chPeakCnt[ch] = 1
+			case v == o.chMax[ch] && delta > 0:
+				// The column just climbed to the existing peak (delta > 0
+				// rules out the no-op case where it was already there).
+				o.chPeakCnt[ch]++
+			}
+		}
 	}
 }
 
@@ -69,6 +123,7 @@ func (o *Occupancy) AddChannelCounts(ch int, counts []int32) error {
 	if len(counts) != o.Cols {
 		return fmt.Errorf("route: channel counts length %d, want %d", len(counts), o.Cols)
 	}
+	o.chMaxOK[ch] = false // transported counts may be negative deltas
 	base := ch * o.Cols
 	for col, v := range counts {
 		o.occ[base+col] += v
@@ -90,6 +145,9 @@ func (o *Occupancy) SetCounts(counts []int32) error {
 		return fmt.Errorf("route: occupancy counts length %d, want %d", len(counts), len(o.occ))
 	}
 	copy(o.occ, counts)
+	for ch := range o.chMaxOK {
+		o.chMaxOK[ch] = false
+	}
 	return nil
 }
 
@@ -101,26 +159,29 @@ const maxWeight = 1 << 24
 // the peak-density increase weighted above a sum-of-squares tiebreak, on
 // the same scale as MoveCost. Step 4 uses it to pick the cheaper channel
 // for a switchable connection as it streams wires into the occupancy.
+//
+// Only the covered columns are walked: the post-add peak is the larger of
+// the cached channel peak and the span's pre-add peak plus one, which is
+// exactly the full-walk value (the peak outside the span never exceeds
+// the channel peak).
 func (o *Occupancy) AddCost(ch int, span geom.Interval) int64 {
 	if span.Empty() {
 		return 0
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
 	base := ch * o.Cols
-	var max, maxAfter, squares int64
-	for col := 0; col < o.Cols; col++ {
+	max := int64(o.channelMax(ch))
+	var spanMax, squares int64
+	for col := lo; col <= hi; col++ {
 		v := int64(o.occ[base+col])
-		va := v
-		if col >= lo && col <= hi {
-			va++
-			squares += 2*v + 1
+		squares += 2*v + 1
+		if v > spanMax {
+			spanMax = v
 		}
-		if v > max {
-			max = v
-		}
-		if va > maxAfter {
-			maxAfter = va
-		}
+	}
+	maxAfter := max
+	if spanMax+1 > maxAfter {
+		maxAfter = spanMax + 1
 	}
 	return (maxAfter-max)*maxWeight + squares
 }
@@ -135,36 +196,42 @@ func (o *Occupancy) AddCost(ch int, span geom.Interval) int64 {
 // is flipped to the opposite channel"). Sum-of-squares congestion breaks
 // ties so density still spreads when the peak is unaffected, enabling
 // later improving moves.
+// Only the covered columns are walked (counts are never negative: every
+// table is a sum of wire adds). The post-add peak of to follows the
+// AddCost argument; the post-removal peak of from is the cached peak when
+// any column outside the span still attains it, and exactly one less when
+// every peak column lies in the span (then all of them drop together, and
+// no outside column can exceed peak-1).
 func (o *Occupancy) MoveCost(from, to int, span geom.Interval) int64 {
 	if span.Empty() {
 		return 0
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
 	fromBase, toBase := from*o.Cols, to*o.Cols
+	maxFrom := int64(o.channelMax(from))
+	maxTo := int64(o.channelMax(to))
 
-	var maxFrom, maxFromAfter, maxTo, maxToAfter, squares int64
-	for col := 0; col < o.Cols; col++ {
+	var spanMaxTo, squares int64
+	var fromPeakInSpan int32
+	for col := lo; col <= hi; col++ {
 		f := int64(o.occ[fromBase+col])
 		t := int64(o.occ[toBase+col])
-		fa, ta := f, t
-		if col >= lo && col <= hi {
-			fa--
-			ta++
-			// Squares delta: -(2f-1) for the removal, +(2t+1) for the add.
-			squares += 2*t + 1 - (2*f - 1)
+		// Squares delta: -(2f-1) for the removal, +(2t+1) for the add.
+		squares += 2*t + 1 - (2*f - 1)
+		if t > spanMaxTo {
+			spanMaxTo = t
 		}
-		if f > maxFrom {
-			maxFrom = f
+		if f == maxFrom {
+			fromPeakInSpan++
 		}
-		if fa > maxFromAfter {
-			maxFromAfter = fa
-		}
-		if t > maxTo {
-			maxTo = t
-		}
-		if ta > maxToAfter {
-			maxToAfter = ta
-		}
+	}
+	maxFromAfter := maxFrom
+	if maxFrom > 0 && fromPeakInSpan == o.chPeakCnt[from] {
+		maxFromAfter--
+	}
+	maxToAfter := maxTo
+	if spanMaxTo+1 > maxToAfter {
+		maxToAfter = spanMaxTo + 1
 	}
 	deltaMax := (maxFromAfter + maxToAfter) - (maxFrom + maxTo)
 	return deltaMax*maxWeight + squares
@@ -183,8 +250,9 @@ func OptimizeSwitchable(wires []metrics.Wire, occ *Occupancy, r *rng.RNG, passes
 		}
 	}
 	flips := 0
+	perm := make([]int, len(switchable))
 	for pass := 0; pass < passes; pass++ {
-		perm := r.Perm(len(switchable))
+		r.PermInto(perm)
 		improved := false
 		for _, pi := range perm {
 			w := &wires[switchable[pi]]

@@ -114,6 +114,91 @@ func TestAddCostReflectsPeaks(t *testing.T) {
 	}
 }
 
+// TestCostsMatchNaiveReference differentially checks the peak-cache fast
+// paths of AddCost and MoveCost against a full-walk reference over random
+// add/remove histories — removals invalidate the cache, so both the lazy
+// recompute and the maintained-peak paths get exercised.
+func TestCostsMatchNaiveReference(t *testing.T) {
+	const channels, coreWidth, colWidth = 4, 320, 16
+	refPeak := func(occ *Occupancy, ch int) int64 {
+		var m int64
+		for col := 0; col < occ.Cols; col++ {
+			if v := int64(occ.At(ch, col)); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	refAddCost := func(occ *Occupancy, ch int, span geom.Interval) int64 {
+		clone := NewOccupancy(channels, coreWidth, colWidth)
+		if err := clone.SetCounts(occ.Counts()); err != nil {
+			t.Fatal(err)
+		}
+		before := refPeak(clone, ch)
+		var squares int64
+		lo, hi := clone.colOf(span.Lo), clone.colOf(span.Hi)
+		for col := lo; col <= hi; col++ {
+			squares += 2*int64(clone.At(ch, col)) + 1
+		}
+		clone.Add(ch, span, 1)
+		return (refPeak(clone, ch)-before)*maxWeight + squares
+	}
+	refMoveCost := func(occ *Occupancy, from, to int, span geom.Interval) int64 {
+		clone := NewOccupancy(channels, coreWidth, colWidth)
+		if err := clone.SetCounts(occ.Counts()); err != nil {
+			t.Fatal(err)
+		}
+		before := refPeak(clone, from) + refPeak(clone, to)
+		var squares int64
+		lo, hi := clone.colOf(span.Lo), clone.colOf(span.Hi)
+		for col := lo; col <= hi; col++ {
+			squares += 2*int64(clone.At(to, col)) + 1 - (2*int64(clone.At(from, col)) - 1)
+		}
+		clone.Add(from, span, -1)
+		clone.Add(to, span, 1)
+		after := refPeak(clone, from) + refPeak(clone, to)
+		return (after-before)*maxWeight + squares
+	}
+
+	r := rng.New(99)
+	occ := NewOccupancy(channels, coreWidth, colWidth)
+	type placed struct {
+		ch   int
+		span geom.Interval
+	}
+	var wires []placed
+	for step := 0; step < 400; step++ {
+		if len(wires) > 0 && r.Intn(4) == 0 {
+			// Remove a random wire: drives counts down and invalidates
+			// the peak cache.
+			i := r.Intn(len(wires))
+			occ.Add(wires[i].ch, wires[i].span, -1)
+			wires[i] = wires[len(wires)-1]
+			wires = wires[:len(wires)-1]
+		} else {
+			w := placed{ch: r.Intn(channels),
+				span: geom.NewInterval(r.Intn(coreWidth), r.Intn(coreWidth))}
+			occ.Add(w.ch, w.span, 1)
+			wires = append(wires, w)
+		}
+		// Probe a random query against the naive reference.
+		span := geom.NewInterval(r.Intn(coreWidth), r.Intn(coreWidth))
+		ch := r.Intn(channels)
+		if got, want := occ.AddCost(ch, span), refAddCost(occ, ch, span); got != want {
+			t.Fatalf("step %d: AddCost(ch=%d, %v) = %d, reference %d", step, ch, span, got, want)
+		}
+		// MoveCost requires the wire to be counted in from: move one of
+		// the placed wires.
+		if len(wires) > 0 {
+			w := wires[r.Intn(len(wires))]
+			to := (w.ch + 1 + r.Intn(channels-1)) % channels
+			if got, want := occ.MoveCost(w.ch, to, w.span), refMoveCost(occ, w.ch, to, w.span); got != want {
+				t.Fatalf("step %d: MoveCost(%d->%d, %v) = %d, reference %d", step, w.ch, to, w.span, got, want)
+			}
+		}
+	}
+}
+
 func TestOptimizeSwitchableBalances(t *testing.T) {
 	// 10 overlapping switchable wires all initially in channel 2; the
 	// optimizer must move about half into channel 3.

@@ -68,8 +68,11 @@ func (s *Segment) HorizontalSpan() geom.Interval {
 // a deterministic choice step 2 immediately begins improving.
 func Build(c *circuit.Circuit) [][]Segment {
 	out := make([][]Segment, len(c.Nets))
+	var b Builder
 	for n := range c.Nets {
-		out[n] = BuildNet(c, n)
+		if segs := b.AppendNet(nil, c, n); len(segs) > 0 {
+			out[n] = segs
+		}
 	}
 	return out
 }
@@ -79,35 +82,55 @@ func Build(c *circuit.Circuit) [][]Segment {
 // Only clock-class nets exceed it.
 const LargeNetThreshold = 192
 
-// BuildNet computes the Steiner segments of a single net.
+// BuildNet computes the Steiner segments of a single net. Callers building
+// many nets should reuse a Builder; this wrapper allocates fresh scratch
+// per call.
 func BuildNet(c *circuit.Circuit, netID int) []Segment {
+	var b Builder
+	return b.AppendNet(nil, c, netID)
+}
+
+// Builder carries the reusable scratch of BuildNet (pin geometry and Prim
+// working storage) so step 1 builds a whole circuit's trees with no
+// per-net allocation beyond the output. The zero value is ready to use; a
+// Builder is not safe for concurrent use.
+type Builder struct {
+	pts   []geom.Point
+	order []int
+	ms    mst.Scratch
+}
+
+// AppendNet appends net netID's Steiner segments to dst and returns it.
+func (b *Builder) AppendNet(dst []Segment, c *circuit.Circuit, netID int) []Segment {
 	pinIDs := c.Nets[netID].Pins
 	if len(pinIDs) < 2 {
-		return nil
+		return dst
 	}
-	pts := make([]geom.Point, len(pinIDs))
+	if cap(b.pts) < len(pinIDs) {
+		b.pts = make([]geom.Point, len(pinIDs))
+	}
+	pts := b.pts[:len(pinIDs)]
 	for i, pid := range pinIDs {
 		pts[i] = c.Pins[pid].Point()
 	}
-	var segs []Segment
+	first := len(dst)
 	if len(pinIDs) > LargeNetThreshold {
-		segs = buildLargeNet(netID, pinIDs, pts)
+		dst = b.appendLargeNet(dst, netID, pinIDs, pts)
 	} else {
-		edges, _ := mst.Prim(len(pts), func(i, j int) int64 {
+		edges, _ := b.ms.Prim(len(pts), func(i, j int) int64 {
 			return int64(geom.Abs(pts[i].X-pts[j].X)) +
 				VerticalCost*int64(geom.Abs(pts[i].Y-pts[j].Y))
 		})
-		segs = make([]Segment, 0, len(edges))
 		for _, e := range edges {
-			segs = append(segs, NewSegment(netID, pinIDs[e.U], pts[e.U], pinIDs[e.V], pts[e.V]))
+			dst = append(dst, NewSegment(netID, pinIDs[e.U], pts[e.U], pinIDs[e.V], pts[e.V]))
 		}
 	}
 	// A fake pin marks where the whole net's route crossed the partition
 	// boundary — the parent segment's vertical run passed through that
 	// exact column. Start the split piece with its bend there, so the
 	// boundary hand-off is a point, not a fresh span in the shared channel.
-	for i := range segs {
-		s := &segs[i]
+	for i := first; i < len(dst); i++ {
+		s := &dst[i]
 		pFake := c.Pins[s.PinP].Fake
 		qFake := c.Pins[s.PinQ].Fake
 		switch {
@@ -117,17 +140,20 @@ func BuildNet(c *circuit.Circuit, netID int) []Segment {
 			s.BendX = s.Q.X
 		}
 	}
-	return segs
+	return dst
 }
 
-// buildLargeNet approximates the Steiner tree of a clock-class net the way
-// such nets actually route in row-based designs: a horizontal trunk chain
-// per row (consecutive pins by x), with each row chain hooked to the
+// appendLargeNet approximates the Steiner tree of a clock-class net the
+// way such nets actually route in row-based designs: a horizontal trunk
+// chain per row (consecutive pins by x), with each row chain hooked to the
 // nearest pin of the previous populated row. With VerticalCost dominating,
 // the exact MST converges to almost exactly this shape anyway, and this
 // construction is O(n log n) instead of O(n^2).
-func buildLargeNet(netID int, pinIDs []int, pts []geom.Point) []Segment {
-	order := make([]int, len(pts))
+func (b *Builder) appendLargeNet(dst []Segment, netID int, pinIDs []int, pts []geom.Point) []Segment {
+	if cap(b.order) < len(pts) {
+		b.order = make([]int, len(pts))
+	}
+	order := b.order[:len(pts)]
 	for i := range order {
 		order[i] = i
 	}
@@ -141,7 +167,6 @@ func buildLargeNet(netID int, pinIDs []int, pts []geom.Point) []Segment {
 		}
 		return ia < ib
 	})
-	segs := make([]Segment, 0, len(pts)-1)
 	var prevRow []int // previous populated row's pin order, sorted by x
 	for lo := 0; lo < len(order); {
 		hi := lo
@@ -151,16 +176,16 @@ func buildLargeNet(netID int, pinIDs []int, pts []geom.Point) []Segment {
 		row := order[lo:hi]
 		for i := lo + 1; i < hi; i++ {
 			u, v := order[i-1], order[i]
-			segs = append(segs, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
+			dst = append(dst, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
 		}
 		if prevRow != nil {
 			u, v := closestPair(pts, prevRow, row)
-			segs = append(segs, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
+			dst = append(dst, NewSegment(netID, pinIDs[u], pts[u], pinIDs[v], pts[v]))
 		}
 		prevRow = row
 		lo = hi
 	}
-	return segs
+	return dst
 }
 
 // closestPair returns the x-closest pair between two x-sorted index lists

@@ -39,4 +39,13 @@ chaos_soak() {
 step "chaos soak (seed 1)" chaos_soak 1
 step "chaos soak (seed 2)" chaos_soak 2
 
+# Bench smoke: the serial hot path still runs end to end under the
+# benchmark harness, and the committed perf baseline stays parseable
+# under the current report schema (see DESIGN.md §9).
+bench_smoke() {
+  go test -run '^$' -bench 'BenchmarkSerialRoute/primary2' -benchtime 1x .
+}
+step "bench smoke (serial route)" bench_smoke
+step "perf baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR4.json
+
 echo "check.sh: all gates passed"
