@@ -7,6 +7,7 @@
 package parroute_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -185,7 +186,10 @@ func BenchmarkSerialRoute(b *testing.B) {
 			b.ResetTimer()
 			var tracks int
 			for i := 0; i < b.N; i++ {
-				res := route.Route(c, route.Options{Seed: uint64(i)})
+				res, err := route.Route(context.Background(), c, route.Options{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
 				tracks = res.TotalTracks
 			}
 			b.ReportMetric(float64(tracks), "tracks")
@@ -204,7 +208,10 @@ func BenchmarkCoarseLFlipAblation(b *testing.B) {
 		b.Run(map[int]string{1: "passes-1", 3: "passes-3", 6: "passes-6"}[passes], func(b *testing.B) {
 			var flips int
 			for i := 0; i < b.N; i++ {
-				res := route.Route(c, route.Options{Seed: 1, CoarsePasses: passes})
+				res, err := route.Route(context.Background(), c, route.Options{Seed: 1, CoarsePasses: passes})
+				if err != nil {
+					b.Fatal(err)
+				}
 				flips = res.CoarseFlips
 			}
 			b.ReportMetric(float64(flips), "flips")

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"parroute/internal/channel"
 	"parroute/internal/circuit"
@@ -21,6 +24,7 @@ import (
 	"parroute/internal/mp"
 	"parroute/internal/parallel"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/route"
 	"parroute/internal/viz"
 )
@@ -42,11 +46,21 @@ func main() {
 		out      = flag.String("out", "", "write the routing result (wires + quality numbers) as JSON")
 		verify   = flag.Bool("verify", false, "check routing invariants after the run (serial algorithm only)")
 		verbose  = flag.Bool("v", false, "print per-phase timings")
+		trace    = flag.String("trace", "", "write the per-stage timeline (times, allocs, counters) as JSON")
+		checkTr  = flag.String("checktrace", "", "validate a -trace file and print its summary instead of routing")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
 
 		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan for the parallel algorithms, e.g. drop=0.05,delay=0.1,crash=1@25 (see mp.ParsePlan)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed of the deterministic fault schedule")
 	)
 	flag.Parse()
+
+	if *checkTr != "" {
+		if err := checkTrace(*checkTr); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	c, err := loadCircuit(*preset, *in, *genSeed)
 	if err != nil {
@@ -100,17 +114,35 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *algo == "all" {
-		compareAll(c, opts)
+		compareAll(ctx, c, opts)
 		return
 	}
 
 	var res *metrics.Result
 	var routed *circuit.Circuit // post-routing circuit, for -svg
+	var tracer *pipeline.TraceRecorder
 	switch *algo {
 	case "serial":
 		rt := route.NewRouter(c.Clone(), opts.Route)
-		res = rt.Run()
+		var obs []pipeline.Observer
+		if *trace != "" {
+			// The serial path records the trace live, so it carries the
+			// allocation deltas the merged parallel phases cannot.
+			tracer = pipeline.NewTraceRecorder()
+			obs = append(obs, tracer)
+		}
+		res, err = rt.Run(ctx, obs...)
+		if err != nil {
+			fatalf("routing: %v", timeoutHint(err, *timeout))
+		}
 		routed = rt.C
 		if *verify {
 			if err := rt.Verify(); err != nil {
@@ -120,18 +152,18 @@ func main() {
 		}
 	case "rowwise":
 		opts.Algo = parallel.RowWise
-		res, err = parallel.Run(c, opts)
+		res, err = parallel.Run(ctx, c, opts)
 	case "netwise":
 		opts.Algo = parallel.NetWise
-		res, err = parallel.Run(c, opts)
+		res, err = parallel.Run(ctx, c, opts)
 	case "hybrid":
 		opts.Algo = parallel.Hybrid
-		res, err = parallel.Run(c, opts)
+		res, err = parallel.Run(ctx, c, opts)
 	default:
 		fatalf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
-		fatalf("routing: %v", err)
+		fatalf("routing: %v", timeoutHint(err, *timeout))
 	}
 	if *verify && *algo != "serial" {
 		fatalf("-verify requires -algo serial (parallel results are checked by the test suite)")
@@ -175,8 +207,20 @@ func main() {
 		}
 		fmt.Printf("result written to %s"+"\n", *out)
 	}
+	if *trace != "" {
+		var tr *pipeline.Trace
+		if tracer != nil {
+			tr = tracer.Trace(st.Name, res.Algo, res.Procs)
+		} else {
+			tr = pipeline.TraceFromPhases(st.Name, res.Algo, res.Procs, res.Phases)
+		}
+		if err := writeTrace(*trace, tr); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("trace written to %s"+"\n", *trace)
+	}
 	if *compare && *algo != "serial" {
-		base, err := parallel.RunBaseline(c, opts)
+		base, err := parallel.RunBaseline(ctx, c, opts)
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
@@ -187,8 +231,8 @@ func main() {
 
 // compareAll runs the serial baseline and all three parallel algorithms,
 // printing one comparison row each.
-func compareAll(c *circuit.Circuit, opts parallel.Options) {
-	base, err := parallel.RunBaseline(c, opts)
+func compareAll(ctx context.Context, c *circuit.Circuit, opts parallel.Options) {
+	base, err := parallel.RunBaseline(ctx, c, opts)
 	if err != nil {
 		fatalf("baseline: %v", err)
 	}
@@ -197,7 +241,7 @@ func compareAll(c *circuit.Circuit, opts parallel.Options) {
 	for _, algo := range parallel.Algorithms() {
 		o := opts
 		o.Algo = algo
-		res, err := parallel.Run(c, o)
+		res, err := parallel.Run(ctx, c, o)
 		if err != nil {
 			fatalf("%v: %v", algo, err)
 		}
@@ -244,6 +288,67 @@ func report(res *metrics.Result, verbose bool) {
 			fmt.Printf("  phase %-16s %v\n", ph.Name, ph.Elapsed)
 		}
 	}
+}
+
+// writeTrace writes the timeline to path (or stdout for "-").
+func writeTrace(path string, tr *pipeline.Trace) error {
+	if path == "-" {
+		return pipeline.WriteTrace(os.Stdout, tr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pipeline.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+// checkTrace validates a trace file written by -trace and prints a
+// one-line-per-stage summary — the CI smoke step for the trace schema.
+func checkTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := pipeline.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tr.Stages) == 0 {
+		return fmt.Errorf("%s: trace has no stages", path)
+	}
+	var total time.Duration
+	for _, st := range tr.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("%s: trace has an unnamed stage", path)
+		}
+		total += time.Duration(st.WallNS)
+	}
+	fmt.Printf("trace ok: %s %s on %d proc(s), %d stages, %v total\n",
+		tr.Circuit, tr.Algo, tr.Procs, len(tr.Stages), total)
+	for _, st := range tr.Stages {
+		fmt.Printf("  stage %-16s %v", st.Name, time.Duration(st.WallNS))
+		for _, c := range st.Counters {
+			fmt.Printf("  %s=%d", c.Name, c.Value)
+		}
+		if st.Error != "" {
+			fmt.Printf("  ERROR: %s", st.Error)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// timeoutHint labels cancellation errors with the flag that caused them.
+func timeoutHint(err error, timeout time.Duration) error {
+	if timeout > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		return fmt.Errorf("run exceeded -timeout %v: %w", timeout, err)
+	}
+	return err
 }
 
 func fatalf(format string, args ...any) {

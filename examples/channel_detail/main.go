@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,10 @@ func main() {
 		log.Fatal(err)
 	}
 	rt := route.NewRouter(c.Clone(), route.Options{Seed: *seed})
-	res := rt.Run()
+	res, err := rt.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s globally routed: %d density tracks in %v\n",
 		*name, res.TotalTracks, res.Elapsed)
 

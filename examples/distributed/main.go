@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := parallel.RunBaseline(c, parallel.Options{
+	base, err := parallel.RunBaseline(context.Background(), c, parallel.Options{
 		Procs: 1, Route: route.Options{Seed: *seed},
 	})
 	if err != nil {
@@ -39,7 +40,7 @@ func main() {
 		*name, *procs, base.TotalTracks, base.Elapsed)
 
 	run := func(label string, mode mp.Mode, model mp.CostModel) *metrics.Result {
-		res, err := parallel.Run(c, parallel.Options{
+		res, err := parallel.Run(context.Background(), c, parallel.Options{
 			Algo:  parallel.Hybrid,
 			Procs: *procs,
 			Mode:  mode,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("generating %s: %v", name, err)
 		}
-		base, err := parallel.RunBaseline(c, parallel.Options{
+		base, err := parallel.RunBaseline(context.Background(), c, parallel.Options{
 			Procs: 1, Route: route.Options{Seed: *seed},
 		})
 		if err != nil {
@@ -48,7 +49,7 @@ func main() {
 		for _, algo := range parallel.Algorithms() {
 			fmt.Printf("  %-8v", algo)
 			for _, p := range procs {
-				res, err := parallel.Run(c, parallel.Options{
+				res, err := parallel.Run(context.Background(), c, parallel.Options{
 					Algo: algo, Procs: p, Route: route.Options{Seed: *seed},
 				})
 				if err != nil {

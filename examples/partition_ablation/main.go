@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := parallel.RunBaseline(c, parallel.Options{
+	base, err := parallel.RunBaseline(context.Background(), c, parallel.Options{
 		Procs: 1, Route: route.Options{Seed: *seed},
 	})
 	if err != nil {
@@ -50,7 +51,7 @@ func main() {
 		}
 		load := partition.Load(c, owner, *procs)
 		sload := partition.SteinerLoad(c, owner, *procs)
-		res, err := parallel.Run(c, parallel.Options{
+		res, err := parallel.Run(context.Background(), c, parallel.Options{
 			Algo:  parallel.Hybrid,
 			Procs: *procs,
 			Route: route.Options{Seed: *seed},

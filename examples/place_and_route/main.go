@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,12 +33,18 @@ func main() {
 		fmt.Printf("%-22s HPWL %8d   tracks %5d   feedthroughs %5d\n", label, hpwl, tracks, fts)
 	}
 
-	res := route.Route(c, route.Options{Seed: 1})
+	res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	show("generated placement", place.TotalHPWL(c), res.TotalTracks, res.Feedthroughs)
 
 	scrambled := c.Clone()
 	place.Scramble(scrambled, *seed, 10*len(c.Cells))
-	res = route.Route(scrambled, route.Options{Seed: 1})
+	res, err = route.Route(context.Background(), scrambled, route.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	show("scrambled placement", place.TotalHPWL(scrambled), res.TotalTracks, res.Feedthroughs)
 
 	annealed := scrambled.Clone()
@@ -45,7 +52,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res = route.Route(annealed, route.Options{Seed: 1})
+	res, err = route.Route(context.Background(), annealed, route.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	show("annealed placement", place.TotalHPWL(annealed), res.TotalTracks, res.Feedthroughs)
 
 	fmt.Printf("\nannealer: %d moves, %d accepted, HPWL %d -> %d\n",

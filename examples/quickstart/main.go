@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,10 @@ func main() {
 	fmt.Printf("circuit %s: %d rows, %d cells, %d nets, %d pins\n",
 		stats.Name, stats.Rows, stats.Cells, stats.Nets, stats.Pins)
 
-	res := route.Route(c, route.Options{Seed: 1})
+	res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("routed in %v\n", res.Elapsed)
 	fmt.Printf("  total tracks:   %d\n", res.TotalTracks)

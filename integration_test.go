@@ -4,6 +4,7 @@
 package parroute_test
 
 import (
+	"context"
 	"testing"
 
 	"parroute/internal/channel"
@@ -72,7 +73,10 @@ func TestAllPresetsSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := route.Route(c, route.Options{Seed: 1})
+			res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
 			checkResult(t, name, c.NumChannels(), res)
 		})
 	}
@@ -88,12 +92,12 @@ func TestAllPresetsParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := parallel.RunBaseline(c, parallel.Options{Procs: 1, Route: route.Options{Seed: 1}})
+		base, err := parallel.RunBaseline(context.Background(), c, parallel.Options{Procs: 1, Route: route.Options{Seed: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, algo := range parallel.Algorithms() {
-			res, err := parallel.Run(c, parallel.Options{
+			res, err := parallel.Run(context.Background(), c, parallel.Options{
 				Algo: algo, Procs: 8, Route: route.Options{Seed: 1},
 			})
 			if err != nil {
@@ -122,7 +126,10 @@ func TestSerialQualityStableAcrossSeeds(t *testing.T) {
 	}
 	var lo, hi int
 	for seed := uint64(1); seed <= 5; seed++ {
-		res := route.Route(c, route.Options{Seed: seed})
+		res, err := route.Route(context.Background(), c, route.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if lo == 0 || res.TotalTracks < lo {
 			lo = res.TotalTracks
 		}
@@ -141,7 +148,7 @@ func TestPartitionMethodsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range partition.Methods() {
-		res, err := parallel.Run(c, parallel.Options{
+		res, err := parallel.Run(context.Background(), c, parallel.Options{
 			Algo:  parallel.RowWise,
 			Procs: 4,
 			Route: route.Options{Seed: 1},

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -109,7 +110,7 @@ func (s *Suite) Baseline(name string) (*metrics.Result, error) {
 	var best *metrics.Result
 	for rep := 0; rep < s.cfg.Reps; rep++ {
 		runtime.GC() // keep earlier runs' garbage out of this run's compute spans
-		r, err := parallel.RunBaseline(c, parallel.Options{
+		r, err := parallel.RunBaseline(context.Background(), c, parallel.Options{
 			Procs: 1, Route: route.Options{Seed: s.cfg.Seed + 1},
 		})
 		if err != nil {
@@ -140,7 +141,7 @@ func (s *Suite) Run(name string, algo parallel.Algorithm, procs int,
 	var best *metrics.Result
 	for rep := 0; rep < s.cfg.Reps; rep++ {
 		runtime.GC() // keep earlier runs' garbage out of this run's compute spans
-		r, err := parallel.Run(c, parallel.Options{
+		r, err := parallel.Run(context.Background(), c, parallel.Options{
 			Algo:               algo,
 			Procs:              procs,
 			Mode:               mp.Virtual,

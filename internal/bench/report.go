@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 
 	"parroute/internal/circuit"
+	"parroute/internal/metrics"
 	"parroute/internal/mp"
 	"parroute/internal/parallel"
 	"parroute/internal/partition"
@@ -61,23 +63,45 @@ type SerialRun struct {
 	Area        int64     `json:"area"`
 }
 
-// PhaseNS is one named phase's wall time in nanoseconds.
+// PhaseNS is one named phase's wall time in nanoseconds with its
+// stage-scoped counters (work items: segments, flips, wires, ...).
 type PhaseNS struct {
-	Name      string `json:"name"`
-	ElapsedNS int64  `json:"elapsedNs"`
+	Name      string       `json:"name"`
+	ElapsedNS int64        `json:"elapsedNs"`
+	Counters  []CounterVal `json:"counters,omitempty"`
+}
+
+// CounterVal is one named stage counter in a PhaseNS.
+type CounterVal struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// phasesNS converts result phases into their report form.
+func phasesNS(phases []metrics.Phase) []PhaseNS {
+	var out []PhaseNS
+	for _, p := range phases {
+		ph := PhaseNS{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()}
+		for _, c := range p.Counters {
+			ph.Counters = append(ph.Counters, CounterVal{Name: c.Name, Value: c.Value})
+		}
+		out = append(out, ph)
+	}
+	return out
 }
 
 // ParallelRun is one parallel-algorithm measurement on the simulated SMP
 // machine: simulated wall-clock, speedup over the serial baseline, and the
 // paper's scaled-tracks quality measure.
 type ParallelRun struct {
-	Circuit      string  `json:"circuit"`
-	Algo         string  `json:"algo"`
-	Procs        int     `json:"procs"`
-	Model        string  `json:"model"`
-	ElapsedNS    int64   `json:"elapsedNs"`
-	Speedup      float64 `json:"speedup"`
-	ScaledTracks float64 `json:"scaledTracks"`
+	Circuit      string    `json:"circuit"`
+	Algo         string    `json:"algo"`
+	Procs        int       `json:"procs"`
+	Model        string    `json:"model"`
+	ElapsedNS    int64     `json:"elapsedNs"`
+	Speedup      float64   `json:"speedup"`
+	ScaledTracks float64   `json:"scaledTracks"`
+	Phases       []PhaseNS `json:"phases,omitempty"`
 }
 
 // CollectSnapshot measures the tree under the given configuration. Serial
@@ -103,7 +127,10 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		allocs, bytes := measureSerialAllocs(c, route.Options{Seed: cfg.Seed + 1})
+		allocs, bytes, err := measureSerialAllocs(c, route.Options{Seed: cfg.Seed + 1})
+		if err != nil {
+			return nil, err
+		}
 		run := SerialRun{
 			Circuit:     name,
 			ElapsedNS:   base.Elapsed.Nanoseconds(),
@@ -112,9 +139,7 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 			TotalTracks: base.TotalTracks,
 			Area:        base.Area,
 		}
-		for _, p := range base.Phases {
-			run.Phases = append(run.Phases, PhaseNS{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()})
-		}
+		run.Phases = phasesNS(base.Phases)
 		snap.Serial = append(snap.Serial, run)
 
 		for _, procs := range cfg.Procs {
@@ -134,6 +159,7 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 					ElapsedNS:    r.Elapsed.Nanoseconds(),
 					Speedup:      r.Speedup(base),
 					ScaledTracks: r.ScaledTracks(base),
+					Phases:       phasesNS(r.Phases),
 				})
 			}
 		}
@@ -144,15 +170,17 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 // measureSerialAllocs runs the serial pipeline once and returns the heap
 // allocations and bytes it performed. The clone happens before the
 // measurement window so only the pipeline itself is counted.
-func measureSerialAllocs(c *circuit.Circuit, opt route.Options) (allocs, bytes int64) {
+func measureSerialAllocs(c *circuit.Circuit, opt route.Options) (allocs, bytes int64, err error) {
 	clone := c.Clone()
 	rt := route.NewRouter(clone, opt)
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	rt.Run()
+	if _, err := rt.Run(context.Background()); err != nil {
+		return 0, 0, err
+	}
 	runtime.ReadMemStats(&after)
-	return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc)
+	return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc), nil
 }
 
 // BuildReport assembles a new report from the freshly collected snapshot,

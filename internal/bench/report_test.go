@@ -96,9 +96,12 @@ func TestSerialSpeedupIgnoresUnmatchedCircuits(t *testing.T) {
 
 func TestReportJSONRoundTrip(t *testing.T) {
 	snap := fakeSnapshot(map[string]int64{"a": 1000})
-	snap.Serial[0].Phases = []PhaseNS{{Name: "trees", ElapsedNS: 10}}
+	snap.Serial[0].Phases = []PhaseNS{{Name: "steiner", ElapsedNS: 10,
+		Counters: []CounterVal{{Name: "segments", Value: 321}}}}
 	snap.Parallel = []ParallelRun{{Circuit: "a", Algo: "netwise", Procs: 4,
-		Model: "smp", ElapsedNS: 400, Speedup: 2.5, ScaledTracks: 1.01}}
+		Model: "smp", ElapsedNS: 400, Speedup: 2.5, ScaledTracks: 1.01,
+		Phases: []PhaseNS{{Name: "connect", ElapsedNS: 7,
+			Counters: []CounterVal{{Name: "wires", Value: 42}}}}}}
 	orig := BuildReport(nil, snap, "round-trip")
 
 	var buf bytes.Buffer
@@ -115,11 +118,18 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if len(got.Current.Serial) != 1 || got.Current.Serial[0].ElapsedNS != 1000 {
 		t.Fatalf("serial run mangled: %+v", got.Current.Serial)
 	}
-	if len(got.Current.Serial[0].Phases) != 1 || got.Current.Serial[0].Phases[0].Name != "trees" {
-		t.Fatalf("phases mangled: %+v", got.Current.Serial[0].Phases)
+	sp := got.Current.Serial[0].Phases
+	if len(sp) != 1 || sp[0].Name != "steiner" ||
+		len(sp[0].Counters) != 1 || sp[0].Counters[0] != (CounterVal{Name: "segments", Value: 321}) {
+		t.Fatalf("serial phases mangled: %+v", sp)
 	}
 	if len(got.Current.Parallel) != 1 || got.Current.Parallel[0].Speedup != 2.5 {
 		t.Fatalf("parallel run mangled: %+v", got.Current.Parallel)
+	}
+	pp := got.Current.Parallel[0].Phases
+	if len(pp) != 1 || pp[0].Name != "connect" ||
+		len(pp[0].Counters) != 1 || pp[0].Counters[0] != (CounterVal{Name: "wires", Value: 42}) {
+		t.Fatalf("parallel per-stage breakdown mangled: %+v", pp)
 	}
 }
 

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -227,7 +228,10 @@ func TestFromWiresContactDerivation(t *testing.T) {
 func TestRouteAllOnRealCircuit(t *testing.T) {
 	// End-to-end: route a small circuit, then channel-route the result.
 	c := gen.Small(3)
-	res := route.Route(c, route.Options{Seed: 1})
+	res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := RouteAll(c.NumChannels(), res.Wires)
 	if sum.DensityTracks != res.TotalTracks {
 		t.Fatalf("density sum %d != result tracks %d", sum.DensityTracks, res.TotalTracks)

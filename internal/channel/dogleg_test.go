@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"context"
 	"testing"
 
 	"parroute/internal/gen"
@@ -105,7 +106,10 @@ func TestDoglegOnRealCircuit(t *testing.T) {
 	// characterization test that RouteDogleg degrades gracefully to the
 	// plain result on such populations.
 	c := gen.Small(3)
-	res := route.Route(c, route.Options{Seed: 1})
+	res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	byCh := FromWires(c.NumChannels(), res.Wires)
 	plain := RouteAll(c.NumChannels(), res.Wires)
 	dogTracks, doglegs, broken := RouteAllDogleg(c.NumChannels(), byCh)

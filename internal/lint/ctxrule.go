@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerCtxRule enforces the two context-plumbing conventions the
+// cancellation paths depend on. A context.Context parameter must come
+// first (after the receiver), so call sites read uniformly and no ctx is
+// forgotten when signatures grow; and a context must never be stored in a
+// struct field — a stored context outlives the call it scoped, silently
+// decoupling cancellation from the work it was supposed to bound (the
+// go vet "containedctx" family of bugs).
+var analyzerCtxRule = &Analyzer{
+	Name: "ctxrule",
+	Doc:  "context.Context must be the first parameter and must not live in struct fields",
+	Run:  runCtxRule,
+}
+
+func runCtxRule(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxParams(p, n.Type)
+			case *ast.FuncLit:
+				checkCtxParams(p, n.Type)
+			case *ast.StructType:
+				checkCtxFields(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams flags context.Context parameters that are not the
+// function's first parameter. A blank or named first-position ctx is
+// fine; any later position is a diagnostic, one per offending parameter.
+func checkCtxParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting each name in a shared field once
+	for _, field := range ft.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // unnamed parameter
+		}
+		if isContextType(p, field.Type) && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context is parameter %d: pass ctx first so cancellation plumbing stays uniform", pos+1)
+		}
+		pos += names
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(p *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(p, field.Type) {
+			p.Reportf(field.Pos(), "context.Context stored in struct field: pass ctx as a call parameter instead of persisting it")
+		}
+	}
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func isContextType(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

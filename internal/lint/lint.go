@@ -99,10 +99,11 @@ func DefaultConfig() *Config {
 		},
 		TimeAllowedPkgs: []string{
 			"parroute/internal/metrics",
+			// The observer clock: every phase/stage timing in the module is
+			// read here, and observers cannot affect routing output.
+			"parroute/internal/pipeline",
 		},
-		TimeAllowedFiles: []string{
-			"internal/parallel/common.go", // the stopwatch that feeds Summary.Phases
-		},
+		TimeAllowedFiles: nil,
 	}
 }
 
@@ -150,6 +151,7 @@ func Analyzers() []*Analyzer {
 		analyzerTagDiscipline,
 		analyzerSendRecvPairing,
 		analyzerSortOrder,
+		analyzerCtxRule,
 	}
 }
 

@@ -37,6 +37,9 @@ func TestFixtureFiresEachRuleExactlyOnce(t *testing.T) {
 		if a.Name == "tag-discipline" {
 			want = 2 // raw-literal site + reserved-range declaration
 		}
+		if a.Name == "ctxrule" {
+			want = 2 // non-first ctx parameter + ctx stored in a struct field
+		}
 		total += want
 		if counts[a.Name] != want {
 			t.Errorf("rule %s fired %d times, want exactly %d", a.Name, counts[a.Name], want)

@@ -1,6 +1,7 @@
 package fixture
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -84,3 +85,16 @@ func DrainAllowed(c mp.Comm) error {
 	}
 	return nil
 }
+
+func RefreshAllowed(c mp.Comm, ctx context.Context) error { //lint:allow ctxrule fixture: suppressed trailing ctx
+	<-ctx.Done()
+	return c.Barrier()
+}
+
+type sessionAllowed struct {
+	ctx  context.Context //lint:allow ctxrule fixture: suppressed stored ctx
+	rank int
+}
+
+// RankAllowedSession keeps sessionAllowed used.
+func (s *sessionAllowed) RankAllowedSession() int { return s.rank }

@@ -5,6 +5,7 @@
 package fixture
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -129,3 +130,20 @@ func Restock(c mp.Comm, to int, v any) error {
 func Steal(c mp.Comm, from int) (any, error) {
 	return c.Recv(from, tagStolen)
 }
+
+// Refresh violates ctxrule: the context is not the first parameter, so
+// call sites stop reading uniformly and a grown signature can lose it.
+func Refresh(c mp.Comm, ctx context.Context) error {
+	<-ctx.Done()
+	return c.Barrier()
+}
+
+// session violates ctxrule: storing the context decouples cancellation
+// from the call it was meant to scope.
+type session struct {
+	ctx  context.Context
+	rank int
+}
+
+// Rank returns the stored rank (keeps session used).
+func (s *session) Rank() int { return s.rank }

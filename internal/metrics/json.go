@@ -49,8 +49,14 @@ type jsonWire struct {
 }
 
 type jsonPhase struct {
-	Name      string `json:"name"`
-	ElapsedNS int64  `json:"elapsedNs"`
+	Name      string        `json:"name"`
+	ElapsedNS int64         `json:"elapsedNs"`
+	Counters  []jsonCounter `json:"counters,omitempty"`
+}
+
+type jsonCounter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
 }
 
 // WriteJSON serializes the result.
@@ -74,7 +80,11 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		}
 	}
 	for _, p := range r.Phases {
-		jr.Phases = append(jr.Phases, jsonPhase{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()})
+		jp := jsonPhase{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()}
+		for _, c := range p.Counters {
+			jp.Counters = append(jp.Counters, jsonCounter{Name: c.Name, Value: c.Value})
+		}
+		jr.Phases = append(jr.Phases, jp)
 	}
 	return json.NewEncoder(w).Encode(&jr)
 }
@@ -104,7 +114,11 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		}
 	}
 	for _, jp := range jr.Phases {
-		r.Phases = append(r.Phases, Phase{Name: jp.Name, Elapsed: time.Duration(jp.ElapsedNS)})
+		p := Phase{Name: jp.Name, Elapsed: time.Duration(jp.ElapsedNS)}
+		for _, jc := range jp.Counters {
+			p.Counters = append(p.Counters, Counter{Name: jc.Name, Value: jc.Value})
+		}
+		r.Phases = append(r.Phases, p)
 	}
 	return r, nil
 }

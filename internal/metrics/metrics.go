@@ -167,10 +167,18 @@ func (f *FaultReport) String() string {
 		f.Sends, f.Drops, f.Delays, f.Dups, f.Reorders, f.Retries, f.Dedups, f.DeadlineMisses, f.Crashes)
 }
 
-// Phase records the wall time of one named routing phase.
+// Phase records the wall time of one named routing phase, plus any
+// stage-scoped counters the pipeline observer collected during it.
 type Phase struct {
-	Name    string
-	Elapsed time.Duration
+	Name     string
+	Elapsed  time.Duration
+	Counters []Counter
+}
+
+// Counter is one named stage-scoped tally attached to a Phase.
+type Counter struct {
+	Name  string
+	Value int64
 }
 
 // Finalize computes the derived quality numbers from Wires and the

@@ -184,7 +184,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		Feedthroughs: 3, ForcedEdges: 0, CoreWidth: 100,
 		SwitchableWires: 1, SwitchFlips: 1, CoarseFlips: 2,
 		Elapsed: 1234567,
-		Phases:  []Phase{{Name: "steiner", Elapsed: 111}},
+		Phases:  []Phase{{Name: "steiner", Elapsed: 111, Counters: []Counter{{Name: "trees", Value: 9}}}},
 	}
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
@@ -207,8 +207,12 @@ func TestResultJSONRoundTrip(t *testing.T) {
 			t.Fatalf("wire %d: %+v vs %+v", i, got.Wires[i], r.Wires[i])
 		}
 	}
-	if len(got.Phases) != 1 || got.Phases[0] != r.Phases[0] {
+	if len(got.Phases) != 1 || got.Phases[0].Name != r.Phases[0].Name ||
+		got.Phases[0].Elapsed != r.Phases[0].Elapsed {
 		t.Fatalf("phases: %+v", got.Phases)
+	}
+	if len(got.Phases[0].Counters) != 1 || got.Phases[0].Counters[0] != (Counter{Name: "trees", Value: 9}) {
+		t.Fatalf("phase counters: %+v", got.Phases[0].Counters)
 	}
 }
 

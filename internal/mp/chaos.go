@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sort"
@@ -286,8 +287,9 @@ type heldMsg struct {
 }
 
 // Run executes fn under fault injection. Per-run state is reset, so the
-// same engine value must not run twice concurrently.
-func (e *ChaosEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+// same engine value must not run twice concurrently. Cancellation is the
+// inner engine's: ctx passes straight through.
+func (e *ChaosEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
 	plan := e.plan.withDefaults()
 	if err := plan.validate(); err != nil {
 		return 0, err
@@ -307,7 +309,7 @@ func (e *ChaosEngine) Run(procs int, fn func(Comm) error) (time.Duration, error)
 			}
 		}
 	}
-	return e.inner.Run(procs, func(inner Comm) error {
+	return e.inner.Run(ctx, procs, func(inner Comm) error {
 		cc := &cComm{e: e, plan: plan, inner: inner, rank: inner.Rank(), streams: map[streamKey]*recvStream{}}
 		err := fn(cc)
 		if err == nil && !cc.crashed {

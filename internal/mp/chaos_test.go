@@ -6,6 +6,7 @@ package mp
 // deadline behavior are exercised in crash_test.go.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -139,7 +140,7 @@ func TestChaosTransparentDelivery(t *testing.T) {
 			t.Fatal(err)
 		}
 		ce := eng.(*ChaosEngine)
-		if _, err := ce.Run(cfg.Procs, tortureBody(20)); err != nil {
+		if _, err := ce.Run(context.Background(), cfg.Procs, tortureBody(20)); err != nil {
 			t.Fatal(err)
 		}
 		s := ce.Snapshot()
@@ -165,7 +166,7 @@ func TestChaosZeroPlanIsTransparent(t *testing.T) {
 			t.Fatal(err)
 		}
 		ce := eng.(*ChaosEngine)
-		if _, err := ce.Run(cfg.Procs, tortureBody(5)); err != nil {
+		if _, err := ce.Run(context.Background(), cfg.Procs, tortureBody(5)); err != nil {
 			t.Fatal(err)
 		}
 		if s := ce.Snapshot(); s.Injected() != 0 || s.Dedups != 0 {
@@ -187,7 +188,7 @@ func TestChaosEventLogReproducible(t *testing.T) {
 			t.Fatal(err)
 		}
 		ce := eng.(*ChaosEngine)
-		if _, err := ce.Run(cfg.Procs, tortureBody(12)); err != nil {
+		if _, err := ce.Run(context.Background(), cfg.Procs, tortureBody(12)); err != nil {
 			t.Fatal(err)
 		}
 		return strings.Join(ce.EventLog(), "\n")
@@ -223,7 +224,7 @@ func TestChaosRetryBudgetExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	ce := eng.(*ChaosEngine)
-	_, err = ce.Run(cfg.Procs, func(c Comm) error {
+	_, err = ce.Run(context.Background(), cfg.Procs, func(c Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 1, 99)
 		}

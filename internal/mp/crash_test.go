@@ -6,6 +6,7 @@ package mp
 // panics). Deadlines must turn silent hangs into ErrDeadline.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -78,7 +79,7 @@ func runCrashOnce(t *testing.T, cfg Config, procs, crashRank, crashAt int) []err
 	body := crashBody(50)
 	done := make(chan error, 1)
 	go func() {
-		_, err := eng.Run(procs, func(c Comm) error {
+		_, err := eng.Run(context.Background(), procs, func(c Comm) error {
 			err := body(c)
 			mu.Lock()
 			errs[c.Rank()] = err
@@ -223,7 +224,7 @@ func TestCrashEventLogIncludesNote(t *testing.T) {
 			t.Fatal(err)
 		}
 		ce := eng.(*ChaosEngine)
-		if _, err := ce.Run(cfg.Procs, crashBody(20)); !errors.Is(err, ErrRankLost) {
+		if _, err := ce.Run(context.Background(), cfg.Procs, crashBody(20)); !errors.Is(err, ErrRankLost) {
 			t.Fatalf("want ErrRankLost, got %v", err)
 		}
 		log := ce.EventLog()

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -76,11 +77,16 @@ type iComm struct {
 	rank int
 }
 
-func runInproc(n int, lim Limits, fn func(Comm) error) error {
+func runInproc(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 	m := &iMachine{n: n, lim: lim, boxes: make([]*mailbox, n), barrier: newReusableBarrier(n)}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()
 	}
+	// Cancellation rides the abort machinery: every blocked mailbox wait
+	// and the barrier are released with an error wrapping ctx.Err(), and
+	// unblocked workers pick it up at their next mp operation.
+	stop := context.AfterFunc(ctx, func() { m.abort(cancelCause(ctx)) })
+	defer stop()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -95,7 +101,15 @@ func runInproc(n int, lim Limits, fn func(Comm) error) error {
 		}(i)
 	}
 	wg.Wait()
-	return firstErr(errs)
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+	// Workers may all have finished their compute between the cancel and
+	// their final mp operation; a cancelled run still reports as such.
+	if ctx.Err() != nil {
+		return cancelCause(ctx)
+	}
+	return nil
 }
 
 // abort releases every blocked worker after a failure.

@@ -23,6 +23,7 @@
 package mp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -129,29 +130,40 @@ var ErrRankLost = errors.New("mp: rank lost")
 type Engine interface {
 	// Run executes fn on procs workers and returns the elapsed parallel
 	// time: simulated time under Virtual, wall-clock time otherwise. The
-	// first worker error aborts the run and is returned.
-	Run(procs int, fn func(Comm) error) (time.Duration, error)
+	// first worker error aborts the run and is returned. Cancelling ctx
+	// aborts the run the same way a worker failure does — every blocked
+	// rank is released and the returned error wraps ctx.Err()
+	// (context.Canceled or context.DeadlineExceeded); no goroutines are
+	// leaked. A blocked TCP socket write is additionally bounded by
+	// Limits.SendTimeout.
+	Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error)
+}
+
+// cancelCause wraps a cancelled context's error so every rank's abort
+// error carries the mp prefix while errors.Is still sees the cause.
+func cancelCause(ctx context.Context) error {
+	return fmt.Errorf("mp: run cancelled: %w", ctx.Err())
 }
 
 type virtualEngine struct{ model CostModel }
 
-func (e virtualEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
-	return runVirtual(procs, e.model, fn)
+func (e virtualEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
+	return runVirtual(ctx, procs, e.model, fn)
 }
 
 type inprocEngine struct{ lim Limits }
 
-func (e inprocEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+func (e inprocEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
 	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-	err := runInproc(procs, e.lim, fn)
+	err := runInproc(ctx, procs, e.lim, fn)
 	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
 }
 
 type tcpEngine struct{ lim Limits }
 
-func (e tcpEngine) Run(procs int, fn func(Comm) error) (time.Duration, error) {
+func (e tcpEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
 	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-	err := runTCP(procs, e.lim, fn)
+	err := runTCP(ctx, procs, e.lim, fn)
 	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
 }
 
@@ -196,8 +208,15 @@ func (cfg Config) Engine() (Engine, error) {
 
 // Run executes fn on Procs workers and returns the elapsed parallel time:
 // simulated time under Virtual, wall-clock time otherwise. The first
-// worker error aborts the run and is returned.
+// worker error aborts the run and is returned. Run never cancels; use
+// RunContext for cancellable or deadline-bounded runs.
 func (cfg Config) Run(fn func(Comm) error) (time.Duration, error) {
+	return cfg.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run under a context: cancelling ctx aborts the run on
+// every rank with an error wrapping ctx.Err(), leaking no goroutines.
+func (cfg Config) RunContext(ctx context.Context, fn func(Comm) error) (time.Duration, error) {
 	if cfg.Procs <= 0 {
 		return 0, fmt.Errorf("mp: Procs must be positive, got %d", cfg.Procs)
 	}
@@ -205,7 +224,7 @@ func (cfg Config) Run(fn func(Comm) error) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	return eng.Run(cfg.Procs, fn)
+	return eng.Run(ctx, cfg.Procs, fn)
 }
 
 // envelope is an in-flight message.

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -41,12 +42,20 @@ type tPeer struct {
 	enc  *gob.Encoder
 }
 
-func runTCP(n int, lim Limits, fn func(Comm) error) error {
+func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 	m := &tMachine{n: n, lim: lim, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n), lost: make([]bool, n)}
 	for i := 0; i < n; i++ {
 		m.boxes[i] = newMailbox()
 		m.peers[i] = make([]*tPeer, n)
 	}
+	// Cancellation rides the abort machinery: blocked mailbox waits are
+	// released with an error wrapping ctx.Err(); unblocked ranks fail at
+	// their next Send/Recv. A Send stalled inside a socket write is
+	// additionally bounded by Limits.SendTimeout. Registered only after
+	// the machine is fully built: an already-cancelled ctx fires the
+	// watcher synchronously on another goroutine.
+	stop := context.AfterFunc(ctx, func() { m.abort(cancelCause(ctx)) })
+	defer stop()
 
 	// Every rank listens; rank i dials every j > i and introduces itself
 	// with a one-int handshake.
@@ -141,7 +150,13 @@ func runTCP(n int, lim Limits, fn func(Comm) error) error {
 	wg.Wait()
 	m.closeAll()
 	wgRead.Wait()
-	return firstErr(errs)
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return cancelCause(ctx)
+	}
+	return nil
 }
 
 func setErr(mu *sync.Mutex, dst *error, err error) {

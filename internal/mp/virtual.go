@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,7 +62,7 @@ type vComm struct {
 	w *vWorker
 }
 
-func runVirtual(n int, model CostModel, fn func(Comm) error) (time.Duration, error) {
+func runVirtual(ctx context.Context, n int, model CostModel, fn func(Comm) error) (time.Duration, error) {
 	// The simulation charges real elapsed time to worker clocks, so a GC
 	// cycle triggered by a previous run's garbage would be billed to
 	// whichever worker it lands on. Collect up front for a clean slate.
@@ -70,6 +71,19 @@ func runVirtual(n int, model CostModel, fn func(Comm) error) (time.Duration, err
 	for i := 0; i < n; i++ {
 		m.workers[i] = &vWorker{rank: i, state: vReady, grant: make(chan struct{}, 1)}
 	}
+	// Cancellation sets the machine error and wakes blocked workers; the
+	// running worker sees it at its next mp operation. Under the Background
+	// context of a deterministic run the watcher never fires, so the
+	// discrete-event schedule is untouched.
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.err == nil && m.done < m.n {
+			m.err = cancelCause(ctx)
+			m.wakeAllLocked()
+		}
+	})
+	defer stop()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)

@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"parroute/internal/gen"
+	"parroute/internal/mp"
+	"parroute/internal/pipeline"
+	"parroute/internal/route"
+)
+
+// cancelWatchdog bounds how long a cancelled run may take to unwind
+// before the test declares a hang.
+const cancelWatchdog = 10 * time.Second
+
+// cancelAtStage is an observer that cancels a context the first time any
+// rank starts the named stage. One instance is shared across all ranks of
+// a run, so it must be (and is) safe for concurrent use.
+type cancelAtStage struct {
+	stage  string
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (o *cancelAtStage) StageStart(name string) {
+	if name == o.stage {
+		o.once.Do(o.cancel)
+	}
+}
+
+func (o *cancelAtStage) StageEnd(string, pipeline.StageMetrics) {}
+
+// requireSettledGoroutines fails the test if the live goroutine count does
+// not return to (near) baseline, dumping stacks on timeout.
+func requireSettledGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSerialCancelMidStage: cancelling while the serial pipeline is inside
+// a stage stops it at the next stage boundary with an error wrapping
+// context.Canceled.
+func TestSerialCancelMidStage(t *testing.T) {
+	c := gen.Small(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &cancelAtStage{stage: "connect", cancel: cancel}
+	_, err := RunBaseline(ctx, c, Options{
+		Procs: 1, Route: route.Options{Seed: 1}, Observers: []pipeline.Observer{obs},
+	})
+	if err == nil {
+		t.Fatal("cancelled serial run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestSerialDeadlineExceeded: an already-expired deadline stops the serial
+// pipeline before its first stage with context.DeadlineExceeded.
+func TestSerialDeadlineExceeded(t *testing.T) {
+	c := gen.Small(1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunBaseline(ctx, c, Options{Procs: 1, Route: route.Options{Seed: 1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestParallelCancelMidStage is the acceptance matrix: every algorithm on
+// every engine, cancelled mid-run by an observer when the first rank
+// reaches the "connect" stage. The run must return an error wrapping
+// context.Canceled within the watchdog and leak no goroutines.
+func TestParallelCancelMidStage(t *testing.T) {
+	for _, algo := range Algorithms() {
+		for _, mode := range []mp.Mode{mp.Virtual, mp.Inproc, mp.TCP} {
+			t.Run(algo.String()+"/"+mode.String(), func(t *testing.T) {
+				baseline := runtime.NumGoroutine()
+				c := gen.Small(1)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				obs := &cancelAtStage{stage: "connect", cancel: cancel}
+
+				done := make(chan error, 1)
+				go func() {
+					_, err := Run(ctx, c, Options{
+						Algo:      algo,
+						Procs:     4,
+						Mode:      mode,
+						Route:     route.Options{Seed: 1},
+						Observers: []pipeline.Observer{obs},
+					})
+					done <- err
+				}()
+
+				select {
+				case err := <-done:
+					if err == nil {
+						t.Fatal("cancelled run returned nil error")
+					}
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("error %v does not wrap context.Canceled", err)
+					}
+				case <-time.After(cancelWatchdog):
+					t.Fatalf("watchdog: cancelled %v/%v run did not unwind within %v",
+						algo, mode, cancelWatchdog)
+				}
+				requireSettledGoroutines(t, baseline)
+			})
+		}
+	}
+}
+
+// TestParallelTimeout: a deadline expiring mid-run surfaces as
+// context.DeadlineExceeded through the same path (cmd/twgr's -timeout).
+func TestParallelTimeout(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c := gen.Small(1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, c, Options{
+			Algo: Hybrid, Procs: 4, Mode: mp.Inproc, Route: route.Options{Seed: 1},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+		}
+	case <-time.After(cancelWatchdog):
+		t.Fatalf("watchdog: timed-out run did not unwind within %v", cancelWatchdog)
+	}
+	requireSettledGoroutines(t, baseline)
+}
+
+// TestCancelledRunDoesNotDegrade: cancellation must not be mistaken for a
+// rank loss — the serial fallback would mask the caller's own cancel.
+func TestCancelledRunDoesNotDegrade(t *testing.T) {
+	c := gen.Small(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &cancelAtStage{stage: "connect", cancel: cancel}
+	res, err := Run(ctx, c, Options{
+		Algo: RowWise, Procs: 4, Mode: mp.Inproc,
+		Route: route.Options{Seed: 1}, Observers: []pipeline.Observer{obs},
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a result (Degraded=%v): cancellation must not degrade to serial", res.Degraded)
+	}
+}

@@ -10,6 +10,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -75,7 +76,7 @@ func TestChaosSoakByteIdenticalMetrics(t *testing.T) {
 	seed := chaosSeed(t)
 	c := gen.Small(42)
 	for _, algo := range Algorithms() {
-		clean, err := Run(c, soakOptions(algo))
+		clean, err := Run(context.Background(), c, soakOptions(algo))
 		if err != nil {
 			t.Fatalf("%v fault-free: %v", algo, err)
 		}
@@ -85,7 +86,7 @@ func TestChaosSoakByteIdenticalMetrics(t *testing.T) {
 			plan := tc.plan
 			plan.Seed = seed
 			opt.Chaos = &plan
-			res, err := Run(c, opt)
+			res, err := Run(context.Background(), c, opt)
 			if err != nil {
 				t.Errorf("%v %s: %v", algo, tc.name, err)
 				continue
@@ -116,14 +117,14 @@ func TestChaosSoakInproc(t *testing.T) {
 	c := gen.Small(42)
 	opt := soakOptions(RowWise)
 	opt.Mode = mp.Inproc
-	clean, err := Run(c, opt)
+	clean, err := Run(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := fastTimes(mp.Plan{Drop: 0.05, Delay: 0.10})
 	plan.Seed = seed
 	opt.Chaos = &plan
-	res, err := Run(c, opt)
+	res, err := Run(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestChaosSoakInproc(t *testing.T) {
 func TestChaosCrashDegradesToSerial(t *testing.T) {
 	seed := chaosSeed(t)
 	c := gen.Small(42)
-	base, err := RunBaseline(c, soakOptions(RowWise))
+	base, err := RunBaseline(context.Background(), c, soakOptions(RowWise))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestChaosCrashDegradesToSerial(t *testing.T) {
 		var runErr error
 		go func() {
 			defer close(done)
-			res, runErr = Run(c, opt)
+			res, runErr = Run(context.Background(), c, opt)
 		}()
 		select {
 		case <-done:
@@ -188,7 +189,7 @@ func TestChaosEventLogReproducibleEndToEnd(t *testing.T) {
 		opt.Chaos = &plan
 		var eng mp.Engine
 		opt.onEngine = func(e mp.Engine) { eng = e }
-		if _, err := Run(c, opt); err != nil {
+		if _, err := Run(context.Background(), c, opt); err != nil {
 			t.Fatal(err)
 		}
 		ce, ok := eng.(*mp.ChaosEngine)

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -10,27 +11,27 @@ import (
 	"parroute/internal/metrics"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/route"
 	"parroute/internal/steiner"
 )
 
-// stopwatch accumulates named phase durations for a worker's Summary.
-type stopwatch struct {
-	last   time.Time
-	phases []metrics.Phase
+// workerSession builds one rank's pipeline session: a private phase
+// recorder (whose records travel home in the Summary) plus the caller's
+// shared observers.
+func workerSession(opt Options) (*pipeline.Session, *pipeline.PhaseRecorder) {
+	rec := pipeline.NewPhaseRecorder()
+	s := pipeline.NewSession(append([]pipeline.Observer{rec}, opt.Observers...)...)
+	return s, rec
 }
 
-func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
-
-// reset restarts the span without recording anything; use it after a
-// communication call so the next lap measures only local compute.
-func (s *stopwatch) reset() { s.last = time.Now() }
-
-// lap records the time since the previous lap under the given name.
-func (s *stopwatch) lap(name string) {
-	now := time.Now()
-	s.phases = append(s.phases, metrics.Phase{Name: name, Elapsed: now.Sub(s.last)})
-	s.last = now
+// stage adapts a plain worker step to a pipeline stage; communication and
+// compute both count toward the stage's wall time (the paper charges the
+// sync cost to the phase that needs it).
+func stage(name string, fn func(s *pipeline.Session) error) pipeline.Stage {
+	return pipeline.Func(name, func(_ context.Context, s *pipeline.Session) error {
+		return fn(s)
+	})
 }
 
 // computeCrossings implements the fake-pin placement of §4: for every net
@@ -333,33 +334,49 @@ func (raw *rawGather) merge(base *circuit.Circuit, opt Options) (*metrics.Result
 		}
 	}
 	res.CoreWidth = coreW
-	res.Phases = maxPhases(raw.summaries)
+	res.Phases = mergePhases(raw.summaries)
 	res.Finalize(base.NumChannels(), len(base.Rows), base.CellHeight, opt.Route.TrackPitch)
 	return res, nil
 }
 
-// maxPhases aggregates per-worker phase times into a critical-path
-// approximation: for every phase name, the maximum across workers.
-func maxPhases(summaries []any) []metrics.Phase {
+// mergePhases aggregates per-worker phase records into one timeline: the
+// union of every rank's phase names in first-seen order (a phase a rank
+// skipped — or one absent on rank 0 — is never dropped), the maximum
+// elapsed across ranks per phase (a critical-path approximation), and the
+// sum of each stage-scoped counter across ranks.
+func mergePhases(summaries []any) []metrics.Phase {
 	var order []string
-	byName := map[string]time.Duration{}
+	elapsed := map[string]time.Duration{}
+	counters := map[string]map[string]int64{}
+	counterOrder := map[string][]string{}
 	for _, raw := range summaries {
 		s, ok := raw.(Summary)
 		if !ok {
 			continue
 		}
 		for _, ph := range s.Phases {
-			if _, seen := byName[ph.Name]; !seen {
+			if _, seen := elapsed[ph.Name]; !seen {
 				order = append(order, ph.Name)
+				counters[ph.Name] = map[string]int64{}
 			}
-			if ph.Elapsed > byName[ph.Name] {
-				byName[ph.Name] = ph.Elapsed
+			if ph.Elapsed > elapsed[ph.Name] {
+				elapsed[ph.Name] = ph.Elapsed
+			}
+			for _, c := range ph.Counters {
+				if _, seen := counters[ph.Name][c.Name]; !seen {
+					counterOrder[ph.Name] = append(counterOrder[ph.Name], c.Name)
+				}
+				counters[ph.Name][c.Name] += c.Value
 			}
 		}
 	}
 	out := make([]metrics.Phase, 0, len(order))
 	for _, name := range order {
-		out = append(out, metrics.Phase{Name: name, Elapsed: byName[name]})
+		ph := metrics.Phase{Name: name, Elapsed: elapsed[name]}
+		for _, cn := range counterOrder[name] {
+			ph.Counters = append(ph.Counters, metrics.Counter{Name: cn, Value: counters[name][cn]})
+		}
+		out = append(out, ph)
 	}
 	return out
 }

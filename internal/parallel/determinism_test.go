@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"parroute/internal/gen"
@@ -36,7 +37,7 @@ func TestDeterministicMetricsAcrossRuns(t *testing.T) {
 		for _, procs := range []int{1, 2, 4} {
 			var first []byte
 			for run := 0; run < 2; run++ {
-				res, err := Run(c, Options{
+				res, err := Run(context.Background(), c, Options{
 					Algo:  algo,
 					Procs: procs,
 					Mode:  mp.Inproc,

@@ -1,6 +1,7 @@
 package parallel_test
 
 import (
+	"context"
 	"fmt"
 
 	"parroute/internal/gen"
@@ -13,11 +14,11 @@ import (
 // deterministic; only timing varies between machines.
 func ExampleRun() {
 	c := gen.Small(42)
-	base, err := parallel.RunBaseline(c, parallel.Options{Procs: 1, Route: route.Options{Seed: 1}})
+	base, err := parallel.RunBaseline(context.Background(), c, parallel.Options{Procs: 1, Route: route.Options{Seed: 1}})
 	if err != nil {
 		panic(err)
 	}
-	res, err := parallel.Run(c, parallel.Options{
+	res, err := parallel.Run(context.Background(), c, parallel.Options{
 		Algo:  parallel.Hybrid,
 		Procs: 4,
 		Route: route.Options{Seed: 1},

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func TestGoldenMetrics(t *testing.T) {
 
 	for _, tc := range circuits {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := RunBaseline(tc.c, Options{Procs: 1, Route: route.Options{Seed: 7}})
+			res, err := RunBaseline(context.Background(), tc.c, Options{Procs: 1, Route: route.Options{Seed: 7}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +48,7 @@ func TestGoldenMetrics(t *testing.T) {
 
 			for _, algo := range Algorithms() {
 				for _, procs := range []int{1, 2, 4} {
-					res, err := Run(tc.c, Options{
+					res, err := Run(context.Background(), tc.c, Options{
 						Algo:  algo,
 						Procs: procs,
 						Mode:  mp.Inproc,

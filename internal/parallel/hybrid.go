@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 
 	"parroute/internal/circuit"
@@ -8,6 +9,7 @@ import (
 	"parroute/internal/metrics"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/route"
 )
 
@@ -17,127 +19,178 @@ import (
 // duplicated boundary-channel wiring of independent sub-net connection
 // (the paper's Figure 3 artifact). The resulting wires are redistributed
 // to channel owners for switchable optimization.
-func hybridWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+//
+// Each step is a pipeline stage over the rank's session; stage names
+// shared with the serial router are the serial router's own, "stitch" is
+// the wire redistribution that has no serial counterpart.
+func hybridWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
 	owner []int, opt Options, out *runOutput) error {
 
 	rank := comm.Rank()
 	block := blocks[rank]
-
-	// Phases 1-3: exactly the row-wise pipeline through feedthrough
-	// assignment (fake pins keep the coarse routing and feedthrough
-	// bookkeeping purely local).
-	specs := computeCrossings(base, blocks, owner, rank)
-	myFakes, err := exchangeFakePins(comm, specs)
-	if err != nil {
-		return fmt.Errorf("hybrid: fake-pin exchange: %w", err)
-	}
-	var sub *circuit.Circuit
-	if opt.TrimSubcircuits {
-		sub = buildTrimmedSubCircuit(base, block, myFakes)
-	} else {
-		sub = buildSubCircuit(base, block, myFakes)
-	}
-
 	ropt := opt.Route
 	ropt.Seed = workerSeed(opt.Route.Seed, rank)
 	ropt.GridWidth = base.CoreWidth()
-	rt := route.NewRouter(sub, ropt)
-	rt.BuildTrees()
-	rt.CoarseRoute()
-	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
 
-	// Phase 4: ship every net's connection nodes (real pins and bound
-	// feedthroughs in this block, with authoritative post-insertion
-	// coordinates; fake pins are splitting artifacts and stay home) to the
-	// net's owner, which connects the whole net at once.
-	contrib := make([]NodeBatch, comm.Size())
-	for n := range sub.Nets {
-		dest := owner[n]
-		for _, pid := range sub.Nets[n].Pins {
-			p := &sub.Pins[pid]
-			if p.Fake || !block.Contains(p.Row) {
-				continue
+	// State flowing between stages.
+	var (
+		sub       *circuit.Circuit
+		rt        *route.Router
+		myFakes   []FakePinSpec
+		connected []metrics.Wire
+		occ       *route.Occupancy
+		forced    int
+		flips     int
+		myWires   []metrics.Wire
+	)
+
+	ses, rec := workerSession(opt)
+	stages := []pipeline.Stage{
+		stage("crossings", func(s *pipeline.Session) error {
+			// Phases 1-3 run exactly the row-wise pipeline through
+			// feedthrough assignment (fake pins keep the coarse routing and
+			// feedthrough bookkeeping purely local).
+			specs := computeCrossings(base, blocks, owner, rank)
+			var err error
+			myFakes, err = exchangeFakePins(comm, specs)
+			if err != nil {
+				return fmt.Errorf("hybrid: fake-pin exchange: %w", err)
 			}
-			contrib[dest] = append(contrib[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
-		}
+			s.Count("fake-pins", int64(len(myFakes)))
+			return nil
+		}),
+		stage("subcircuit", func(_ *pipeline.Session) error {
+			if opt.TrimSubcircuits {
+				sub = buildTrimmedSubCircuit(base, block, myFakes)
+			} else {
+				sub = buildSubCircuit(base, block, myFakes)
+			}
+			rt = route.NewRouter(sub, ropt)
+			return nil
+		}),
+		stage("steiner", func(s *pipeline.Session) error {
+			rt.BuildTrees()
+			s.Count("segments", int64(len(rt.Segs)))
+			return nil
+		}),
+		stage("coarse", func(s *pipeline.Session) error {
+			rt.CoarseRoute()
+			s.Count("coarse-flips", int64(rt.CoarseFlips))
+			return nil
+		}),
+		stage("ft-insert", func(s *pipeline.Session) error {
+			rt.InsertFeedthroughs()
+			s.Count("inserted-fts", int64(rt.InsertedFts))
+			return nil
+		}),
+		stage("ft-assign", func(_ *pipeline.Session) error {
+			rt.AssignFeedthroughs()
+			return nil
+		}),
+		stage("connect", func(s *pipeline.Session) error {
+			// Ship every net's connection nodes (real pins and bound
+			// feedthroughs in this block, with authoritative post-insertion
+			// coordinates; fake pins are splitting artifacts and stay home)
+			// to the net's owner, which connects the whole net at once.
+			contrib := make([]NodeBatch, comm.Size())
+			for n := range sub.Nets {
+				dest := owner[n]
+				for _, pid := range sub.Nets[n].Pins {
+					p := &sub.Pins[pid]
+					if p.Fake || !block.Contains(p.Row) {
+						continue
+					}
+					contrib[dest] = append(contrib[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
+				}
+			}
+			vs := make([]any, comm.Size())
+			for k := range vs {
+				vs[k] = contrib[k]
+			}
+			in, err := mp.Alltoall(comm, tagNetNodes, vs)
+			if err != nil {
+				return fmt.Errorf("hybrid: net-node exchange: %w", err)
+			}
+			byNet, err := collectNodes(in)
+			if err != nil {
+				return err
+			}
+			connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
+			connected, forced = connectOwnedNets(byNet, connOcc)
+			s.Count("wires", int64(len(connected)))
+			s.Count("forced-edges", int64(forced))
+			return nil
+		}),
+		stage("stitch", func(_ *pipeline.Session) error {
+			// Redistribute wires to the workers owning their channels
+			// (switchable wires go to the owner of their row, whose two
+			// candidate channels they alternate between), then synchronize
+			// the shared boundary channels once with the neighbors.
+			outWires := make([][]metrics.Wire, comm.Size())
+			numRows := len(base.Rows)
+			for i := range connected {
+				w := connected[i]
+				var dest int
+				if w.Switchable {
+					dest = partition.BlockOf(blocks, w.Row)
+				} else {
+					dest = partition.BlockOf(blocks, geom.Min(w.Channel, numRows-1))
+				}
+				outWires[dest] = append(outWires[dest], w)
+			}
+			vs := make([]any, comm.Size())
+			for k := range vs {
+				vs[k] = WireBatch{Wires: outWires[k]}
+			}
+			in, err := mp.Alltoall(comm, tagWiresRedist, vs)
+			if err != nil {
+				return fmt.Errorf("hybrid: wire redistribution: %w", err)
+			}
+			for r, raw := range in {
+				wb, ok := raw.(WireBatch)
+				if !ok {
+					return fmt.Errorf("parallel: redistributed wires from rank %d arrived as %T", r, raw)
+				}
+				myWires = append(myWires, wb.Wires...)
+			}
+			coreW, err := globalCoreWidth(comm, sub, block)
+			if err != nil {
+				return fmt.Errorf("hybrid: core-width sync: %w", err)
+			}
+			occ = route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+			occ.AddWires(myWires)
+			if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
+				return fmt.Errorf("hybrid: boundary-occupancy sync: %w", err)
+			}
+			return nil
+		}),
+		stage("switch-opt", func(s *pipeline.Session) error {
+			flips = route.OptimizeSwitchable(myWires, occ, rt.Rand, ropt.SwitchPasses)
+			s.Count("switch-flips", int64(flips))
+			return nil
+		}),
+		stage("gather", func(_ *pipeline.Session) error {
+			switchable := 0
+			for i := range myWires {
+				if myWires[i].Switchable && !myWires[i].Span.Empty() {
+					switchable++
+				}
+			}
+			sum := Summary{
+				Rank:         rank,
+				InsertedFts:  rt.InsertedFts,
+				ForcedEdges:  forced,
+				SwitchableWs: switchable,
+				SwitchFlips:  flips,
+				CoarseFlips:  rt.CoarseFlips,
+				RowWidths:    ownRowWidths(sub, block),
+				Phases:       rec.Phases(),
+			}
+			if err := gatherResults(comm, myWires, sum, out); err != nil {
+				return fmt.Errorf("hybrid: result gather: %w", err)
+			}
+			return nil
+		}),
 	}
-	vs := make([]any, comm.Size())
-	for k := range vs {
-		vs[k] = contrib[k]
-	}
-	in, err := mp.Alltoall(comm, tagNetNodes, vs)
-	if err != nil {
-		return fmt.Errorf("hybrid: net-node exchange: %w", err)
-	}
-	byNet, err := collectNodes(in)
-	if err != nil {
-		return err
-	}
-	connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
-	connected, forced := connectOwnedNets(byNet, connOcc)
-
-	// Phase 5: redistribute wires to the workers owning their channels
-	// (switchable wires go to the owner of their row, whose two candidate
-	// channels they alternate between).
-	outWires := make([][]metrics.Wire, comm.Size())
-	numRows := len(base.Rows)
-	for i := range connected {
-		w := connected[i]
-		var dest int
-		if w.Switchable {
-			dest = partition.BlockOf(blocks, w.Row)
-		} else {
-			dest = partition.BlockOf(blocks, geom.Min(w.Channel, numRows-1))
-		}
-		outWires[dest] = append(outWires[dest], w)
-	}
-	for k := range vs {
-		vs[k] = WireBatch{Wires: outWires[k]}
-	}
-	in, err = mp.Alltoall(comm, tagWiresRedist, vs)
-	if err != nil {
-		return fmt.Errorf("hybrid: wire redistribution: %w", err)
-	}
-	var myWires []metrics.Wire
-	for r, raw := range in {
-		wb, ok := raw.(WireBatch)
-		if !ok {
-			return fmt.Errorf("parallel: redistributed wires from rank %d arrived as %T", r, raw)
-		}
-		myWires = append(myWires, wb.Wires...)
-	}
-
-	// Phase 6: switchable optimization over this rank's channels, with
-	// the shared boundary channels synchronized once with the neighbors.
-	coreW, err := globalCoreWidth(comm, sub, block)
-	if err != nil {
-		return fmt.Errorf("hybrid: core-width sync: %w", err)
-	}
-	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
-	occ.AddWires(myWires)
-	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
-		return fmt.Errorf("hybrid: boundary-occupancy sync: %w", err)
-	}
-	switchable := 0
-	for i := range myWires {
-		if myWires[i].Switchable && !myWires[i].Span.Empty() {
-			switchable++
-		}
-	}
-	flips := route.OptimizeSwitchable(myWires, occ, rt.Rand, ropt.SwitchPasses)
-
-	// Phase 7: merge at rank 0.
-	sum := Summary{
-		InsertedFts:  rt.InsertedFts,
-		ForcedEdges:  forced,
-		SwitchableWs: switchable,
-		SwitchFlips:  flips,
-		CoarseFlips:  rt.CoarseFlips,
-		RowWidths:    ownRowWidths(sub, block),
-	}
-	if err := gatherResults(comm, myWires, sum, out); err != nil {
-		return fmt.Errorf("hybrid: result gather: %w", err)
-	}
-	return nil
+	return pipeline.Run(ctx, ses, stages...)
 }

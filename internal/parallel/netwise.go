@@ -1,14 +1,17 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"parroute/internal/circuit"
 	"parroute/internal/geom"
 	"parroute/internal/grid"
+	"parroute/internal/metrics"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/rng"
 	"parroute/internal/route"
 	"parroute/internal/steiner"
@@ -33,7 +36,11 @@ import (
 //     channel occupancy with the same periodic synchronization — ranks
 //     flip segments into the same channels between syncs ("the blindness
 //     of each processor", §7.2).
-func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+//
+// Each step is a pipeline stage over the rank's session; stage names
+// shared with the serial router are the serial router's own, "stitch" is
+// the replicated-occupancy synchronization before step 5.
+func netWiseWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
 	owner []int, opt Options, out *runOutput) error {
 
 	rank := comm.Rank()
@@ -44,293 +51,340 @@ func netWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBl
 	ropt.Seed = workerSeed(opt.Route.Seed, rank)
 	rnd := rng.New(ropt.Seed)
 
-	// Phase 1: Steiner trees of owned nets.
-	var segs []route.PlacedSeg
-	for n := range sub.Nets {
-		if owner[n] != rank {
-			continue
-		}
-		for _, seg := range steiner.BuildNet(sub, n) {
-			segs = append(segs, route.Place(sub, seg))
-		}
-	}
+	// State flowing between stages.
+	var (
+		segs        []route.PlacedSeg
+		own, shared *grid.Grid
+		inserted    int
+		ftByRow     [][]int
+		ftNodes     []NodeBatch
+		wires       []metrics.Wire
+		forced      int
+		ownOcc      *route.Occupancy
+		sharedOcc   *route.Occupancy
+		switchIdx   []int
+		coarseFlips int
+		switchFlips int
+	)
 
-	// Phase 2: coarse routing against the replicated grid.
-	own := grid.New(len(sub.Rows), base.CoreWidth(), ropt.GridColWidth)
-	for i := range segs {
-		route.ApplyRuns(own, segs[i].CurrentRuns(), 1)
-	}
-	shared, err := allreduceGrid(comm, own)
-	if err != nil {
-		return fmt.Errorf("netwise: grid sync: %w", err)
-	}
-	// Flip candidates with their static geometry cached, as in the serial
-	// step 2: the span and endpoint columns never change before insertion,
-	// so the sweep evaluates each flip as one incremental grid walk.
-	type flipCand struct {
-		seg        int
-		span       geom.Interval
-		colP, colQ int
-	}
-	cands := make([]flipCand, 0, len(segs))
-	for i := range segs {
-		ps := &segs[i]
-		if ps.HasBend() && ps.XP != ps.XQ {
-			cands = append(cands, flipCand{
-				seg:  i,
-				span: geom.NewInterval(ps.XP, ps.XQ),
-				colP: shared.ColOf(ps.XP),
-				colQ: shared.ColOf(ps.XQ),
-			})
-		}
-	}
-	coarseFlips := 0
-	perm := make([]int, len(cands))
-	for pass := 0; pass < ropt.CoarsePasses; pass++ {
-		rnd.PermInto(perm)
-		passFlips := 0
-		err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
-			for _, pi := range perm[lo:hi] {
-				fc := &cands[pi]
-				ps := &segs[fc.seg]
-				chFrom, chTo := ps.CP, ps.CQ
-				fromCol, toCol := fc.colQ, fc.colP
-				if ps.BendAtP {
-					chFrom, chTo = ps.CQ, ps.CP
-					fromCol, toCol = fc.colP, fc.colQ
+	ses, rec := workerSession(opt)
+	stages := []pipeline.Stage{
+		stage("steiner", func(s *pipeline.Session) error {
+			for n := range sub.Nets {
+				if owner[n] != rank {
+					continue
 				}
-				delta := shared.SpanCost(chFrom, chTo, fc.span) +
-					shared.VertMoveCost(ps.CP, ps.CQ-1, fromCol, toCol)
-				if delta < 0 {
-					ps.BendAtP = !ps.BendAtP
-					shared.MoveWire(chFrom, chTo, fc.span)
-					shared.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
-					own.MoveWire(chFrom, chTo, fc.span)
-					own.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
-					passFlips++
+				for _, seg := range steiner.BuildNet(sub, n) {
+					segs = append(segs, route.Place(sub, seg))
 				}
 			}
-			if opt.NetwiseSyncPerPass > 0 {
-				shared, err = allreduceGrid(comm, own)
+			s.Count("segments", int64(len(segs)))
+			return nil
+		}),
+		stage("coarse", func(s *pipeline.Session) error {
+			// Coarse routing against the replicated grid.
+			own = grid.New(len(sub.Rows), base.CoreWidth(), ropt.GridColWidth)
+			for i := range segs {
+				route.ApplyRuns(own, segs[i].CurrentRuns(), 1)
+			}
+			var err error
+			shared, err = allreduceGrid(comm, own)
+			if err != nil {
+				return fmt.Errorf("netwise: grid sync: %w", err)
+			}
+			// Flip candidates with their static geometry cached, as in the
+			// serial step 2: the span and endpoint columns never change
+			// before insertion, so the sweep evaluates each flip as one
+			// incremental grid walk.
+			type flipCand struct {
+				seg        int
+				span       geom.Interval
+				colP, colQ int
+			}
+			cands := make([]flipCand, 0, len(segs))
+			for i := range segs {
+				ps := &segs[i]
+				if ps.HasBend() && ps.XP != ps.XQ {
+					cands = append(cands, flipCand{
+						seg:  i,
+						span: geom.NewInterval(ps.XP, ps.XQ),
+						colP: shared.ColOf(ps.XP),
+						colQ: shared.ColOf(ps.XQ),
+					})
+				}
+			}
+			perm := make([]int, len(cands))
+			for pass := 0; pass < ropt.CoarsePasses; pass++ {
+				rnd.PermInto(perm)
+				passFlips := 0
+				err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
+					for _, pi := range perm[lo:hi] {
+						fc := &cands[pi]
+						ps := &segs[fc.seg]
+						chFrom, chTo := ps.CP, ps.CQ
+						fromCol, toCol := fc.colQ, fc.colP
+						if ps.BendAtP {
+							chFrom, chTo = ps.CQ, ps.CP
+							fromCol, toCol = fc.colP, fc.colQ
+						}
+						delta := shared.SpanCost(chFrom, chTo, fc.span) +
+							shared.VertMoveCost(ps.CP, ps.CQ-1, fromCol, toCol)
+						if delta < 0 {
+							ps.BendAtP = !ps.BendAtP
+							shared.MoveWire(chFrom, chTo, fc.span)
+							shared.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
+							own.MoveWire(chFrom, chTo, fc.span)
+							own.MoveVert(ps.CP, ps.CQ-1, fromCol, toCol)
+							passFlips++
+						}
+					}
+					if opt.NetwiseSyncPerPass > 0 {
+						shared, err = allreduceGrid(comm, own)
+						return err
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				coarseFlips += passFlips
+				globalFlips, err := mp.AllreduceInt(comm, tagCoarseVote, passFlips, mp.SumInt)
+				if err != nil {
+					return fmt.Errorf("netwise: coarse convergence vote: %w", err)
+				}
+				if globalFlips == 0 {
+					break
+				}
+			}
+
+			// The feedthrough demand realized next must be identical on
+			// every rank regardless of the sync policy, so one final exact
+			// allreduce closes the coarse phase (its cost is charged like
+			// any other sync).
+			shared, err = allreduceGrid(comm, own)
+			if err != nil {
+				return fmt.Errorf("netwise: final grid sync: %w", err)
+			}
+			s.Count("coarse-flips", int64(coarseFlips))
+			return nil
+		}),
+		stage("ft-insert", func(s *pipeline.Session) error {
+			// Realize feedthrough demand in this rank's rows. The final
+			// synchronized grid is identical everywhere, so row owners see
+			// the complete demand.
+			ftByRow = make([][]int, len(sub.Rows))
+			for row := block.Lo; row <= block.Hi; row++ {
+				for col := 0; col < shared.Cols; col++ {
+					for i := 0; i < shared.FtDemand(row, col); i++ {
+						pin := sub.InsertFeedthrough(row, shared.ColCenter(col), circuit.NoNet)
+						ftByRow[row] = append(ftByRow[row], pin)
+						inserted++
+					}
+				}
+			}
+			// Refresh segment endpoints that sit in this rank's (now
+			// shifted) rows.
+			for i := range segs {
+				segs[i].XP = sub.Pins[segs[i].PinAtP].X
+				segs[i].XQ = sub.Pins[segs[i].PinAtQ].X
+			}
+			s.Count("inserted-fts", int64(inserted))
+			return nil
+		}),
+		stage("ft-assign", func(_ *pipeline.Session) error {
+			// Ship crossings to row owners for assignment.
+			cross := make([]CrossingBatch, size)
+			for i := range segs {
+				runs := segs[i].CurrentRuns()
+				if !runs.HasVert() {
+					continue
+				}
+				for row := runs.VLo; row <= runs.VHi; row++ {
+					dest := partition.BlockOf(blocks, row)
+					cross[dest] = append(cross[dest], CrossingMsg{Net: segs[i].Seg.Net, X: runs.VCol, Row: row})
+				}
+			}
+			vs := make([]any, size)
+			for k := range vs {
+				vs[k] = cross[k]
+			}
+			in, err := mp.Alltoall(comm, tagCrossings, vs)
+			if err != nil {
+				return fmt.Errorf("netwise: crossing exchange: %w", err)
+			}
+			byRow := make([]CrossingBatch, len(sub.Rows))
+			for r, raw := range in {
+				batch, ok := raw.(CrossingBatch)
+				if !ok {
+					return fmt.Errorf("parallel: crossings from rank %d arrived as %T", r, raw)
+				}
+				for _, cr := range batch {
+					byRow[cr.Row] = append(byRow[cr.Row], cr)
+				}
+			}
+
+			// Assign per row (sorted matching, as in the serial step 3) and
+			// route each assigned feedthrough back to the net's owner as a
+			// step-4 node.
+			ftNodes = make([]NodeBatch, size)
+			for row := block.Lo; row <= block.Hi; row++ {
+				crossings := byRow[row]
+				sort.SliceStable(crossings, func(i, j int) bool {
+					if crossings[i].X != crossings[j].X {
+						return crossings[i].X < crossings[j].X
+					}
+					return crossings[i].Net < crossings[j].Net
+				})
+				fts := ftByRow[row]
+				sort.Slice(fts, func(i, j int) bool {
+					if xi, xj := sub.Pins[fts[i]].X, sub.Pins[fts[j]].X; xi != xj {
+						return xi < xj
+					}
+					// Same-x feedthrough pins are interchangeable for
+					// routing, but break the tie by pin ID so the binding
+					// permutation is deterministic rather than
+					// sort-internal.
+					return fts[i] < fts[j]
+				})
+				for i, cr := range crossings {
+					var pinID int
+					if i < len(fts) {
+						pinID = fts[i]
+					} else {
+						pinID = sub.InsertFeedthrough(row, cr.X, circuit.NoNet)
+						inserted++
+					}
+					dest := owner[cr.Net]
+					ftNodes[dest] = append(ftNodes[dest], NodeMsg{
+						Net: cr.Net, X: sub.Pins[pinID].X, Row: row, Side: circuit.Both,
+					})
+				}
+			}
+			return nil
+		}),
+		stage("connect", func(s *pipeline.Session) error {
+			// Pin nodes to net owners, then whole-net connection. Row
+			// owners ship authoritative (post-insertion) pin coordinates so
+			// all of a net's geometry lives in one coherent frame at its
+			// owner.
+			pinNodes := make([]NodeBatch, size)
+			for n := range sub.Nets {
+				dest := owner[n]
+				for _, pid := range sub.Nets[n].Pins {
+					p := &sub.Pins[pid]
+					if !block.Contains(p.Row) {
+						continue // the row owner contributes this pin
+					}
+					pinNodes[dest] = append(pinNodes[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
+				}
+			}
+			vs := make([]any, size)
+			for k := range vs {
+				vs[k] = pinNodes[k]
+			}
+			in, err := mp.Alltoall(comm, tagNetNodes, vs)
+			if err != nil {
+				return fmt.Errorf("netwise: pin-node exchange: %w", err)
+			}
+			byNet, err := collectNodes(in)
+			if err != nil {
 				return err
 			}
+			for k := range vs {
+				vs[k] = ftNodes[k]
+			}
+			in, err = mp.Alltoall(comm, tagFtNodes, vs)
+			if err != nil {
+				return fmt.Errorf("netwise: feedthrough-node exchange: %w", err)
+			}
+			ftByNet, err := collectNodes(in)
+			if err != nil {
+				return err
+			}
+			for n, nodes := range ftByNet {
+				byNet[n] = append(byNet[n], nodes...)
+			}
+			connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
+			wires, forced = connectOwnedNets(byNet, connOcc)
+			s.Count("wires", int64(len(wires)))
+			s.Count("forced-edges", int64(forced))
 			return nil
-		})
-		if err != nil {
-			return err
-		}
-		coarseFlips += passFlips
-		globalFlips, err := mp.AllreduceInt(comm, tagCoarseVote, passFlips, mp.SumInt)
-		if err != nil {
-			return fmt.Errorf("netwise: coarse convergence vote: %w", err)
-		}
-		if globalFlips == 0 {
-			break
-		}
-	}
-
-	// The feedthrough demand realized next must be identical on every
-	// rank regardless of the sync policy, so one final exact allreduce
-	// closes the coarse phase (its cost is charged like any other sync).
-	shared, err = allreduceGrid(comm, own)
-	if err != nil {
-		return fmt.Errorf("netwise: final grid sync: %w", err)
-	}
-
-	// Phase 3a: realize feedthrough demand in this rank's rows. The final
-	// synchronized grid is identical everywhere, so row owners see the
-	// complete demand.
-	inserted := 0
-	ftByRow := make([][]int, len(sub.Rows))
-	for row := block.Lo; row <= block.Hi; row++ {
-		for col := 0; col < shared.Cols; col++ {
-			for i := 0; i < shared.FtDemand(row, col); i++ {
-				pin := sub.InsertFeedthrough(row, shared.ColCenter(col), circuit.NoNet)
-				ftByRow[row] = append(ftByRow[row], pin)
-				inserted++
+		}),
+		stage("stitch", func(_ *pipeline.Session) error {
+			// Replicate the channel occupancy for step 5.
+			coreW, err := globalCoreWidth(comm, sub, block)
+			if err != nil {
+				return fmt.Errorf("netwise: core-width sync: %w", err)
 			}
-		}
-	}
-	// Refresh segment endpoints that sit in this rank's (now shifted) rows.
-	for i := range segs {
-		segs[i].XP = sub.Pins[segs[i].PinAtP].X
-		segs[i].XQ = sub.Pins[segs[i].PinAtQ].X
-	}
-
-	// Phase 3b: ship crossings to row owners for assignment.
-	cross := make([]CrossingBatch, size)
-	for i := range segs {
-		runs := segs[i].CurrentRuns()
-		if !runs.HasVert() {
-			continue
-		}
-		for row := runs.VLo; row <= runs.VHi; row++ {
-			dest := partition.BlockOf(blocks, row)
-			cross[dest] = append(cross[dest], CrossingMsg{Net: segs[i].Seg.Net, X: runs.VCol, Row: row})
-		}
-	}
-	vs := make([]any, size)
-	for k := range vs {
-		vs[k] = cross[k]
-	}
-	in, err := mp.Alltoall(comm, tagCrossings, vs)
-	if err != nil {
-		return fmt.Errorf("netwise: crossing exchange: %w", err)
-	}
-	byRow := make([]CrossingBatch, len(sub.Rows))
-	for r, raw := range in {
-		batch, ok := raw.(CrossingBatch)
-		if !ok {
-			return fmt.Errorf("parallel: crossings from rank %d arrived as %T", r, raw)
-		}
-		for _, cr := range batch {
-			byRow[cr.Row] = append(byRow[cr.Row], cr)
-		}
-	}
-
-	// Assign per row (sorted matching, as in the serial step 3) and route
-	// each assigned feedthrough back to the net's owner as a step-4 node.
-	ftNodes := make([]NodeBatch, size)
-	for row := block.Lo; row <= block.Hi; row++ {
-		crossings := byRow[row]
-		sort.SliceStable(crossings, func(i, j int) bool {
-			if crossings[i].X != crossings[j].X {
-				return crossings[i].X < crossings[j].X
+			ownOcc = route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+			ownOcc.AddWires(wires)
+			sharedOcc = route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+			if err := allreduceOcc(comm, ownOcc, sharedOcc); err != nil {
+				return fmt.Errorf("netwise: occupancy sync: %w", err)
 			}
-			return crossings[i].Net < crossings[j].Net
-		})
-		fts := ftByRow[row]
-		sort.Slice(fts, func(i, j int) bool {
-			if xi, xj := sub.Pins[fts[i]].X, sub.Pins[fts[j]].X; xi != xj {
-				return xi < xj
-			}
-			// Same-x feedthrough pins are interchangeable for routing, but
-			// break the tie by pin ID so the binding permutation is
-			// deterministic rather than sort-internal.
-			return fts[i] < fts[j]
-		})
-		for i, cr := range crossings {
-			var pinID int
-			if i < len(fts) {
-				pinID = fts[i]
-			} else {
-				pinID = sub.InsertFeedthrough(row, cr.X, circuit.NoNet)
-				inserted++
-			}
-			dest := owner[cr.Net]
-			ftNodes[dest] = append(ftNodes[dest], NodeMsg{
-				Net: cr.Net, X: sub.Pins[pinID].X, Row: row, Side: circuit.Both,
-			})
-		}
-	}
-
-	// Phase 4: pin nodes to net owners, then whole-net connection. Row
-	// owners ship authoritative (post-insertion) pin coordinates so all of
-	// a net's geometry lives in one coherent frame at its owner.
-	pinNodes := make([]NodeBatch, size)
-	for n := range sub.Nets {
-		dest := owner[n]
-		for _, pid := range sub.Nets[n].Pins {
-			p := &sub.Pins[pid]
-			if !block.Contains(p.Row) {
-				continue // the row owner contributes this pin
-			}
-			pinNodes[dest] = append(pinNodes[dest], NodeMsg{Net: n, X: p.X, Row: p.Row, Side: p.Side})
-		}
-	}
-	for k := range vs {
-		vs[k] = pinNodes[k]
-	}
-	in, err = mp.Alltoall(comm, tagNetNodes, vs)
-	if err != nil {
-		return fmt.Errorf("netwise: pin-node exchange: %w", err)
-	}
-	byNet, err := collectNodes(in)
-	if err != nil {
-		return err
-	}
-	for k := range vs {
-		vs[k] = ftNodes[k]
-	}
-	in, err = mp.Alltoall(comm, tagFtNodes, vs)
-	if err != nil {
-		return fmt.Errorf("netwise: feedthrough-node exchange: %w", err)
-	}
-	ftByNet, err := collectNodes(in)
-	if err != nil {
-		return err
-	}
-	for n, nodes := range ftByNet {
-		byNet[n] = append(byNet[n], nodes...)
-	}
-	connOcc := route.NewOccupancy(sub.NumChannels(), base.CoreWidth()*2, ropt.GridColWidth)
-	wires, forced := connectOwnedNets(byNet, connOcc)
-
-	// Phase 5: switchable optimization with replicated occupancy.
-	coreW, err := globalCoreWidth(comm, sub, block)
-	if err != nil {
-		return fmt.Errorf("netwise: core-width sync: %w", err)
-	}
-	ownOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
-	ownOcc.AddWires(wires)
-	sharedOcc := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
-	if err := allreduceOcc(comm, ownOcc, sharedOcc); err != nil {
-		return fmt.Errorf("netwise: occupancy sync: %w", err)
-	}
-	switchIdx := make([]int, 0, len(wires))
-	for i := range wires {
-		if wires[i].Switchable && !wires[i].Span.Empty() {
-			switchIdx = append(switchIdx, i)
-		}
-	}
-	switchFlips := 0
-	for pass := 0; pass < ropt.SwitchPasses; pass++ {
-		perm := rnd.Perm(len(switchIdx))
-		passFlips := 0
-		err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
-			for _, pi := range perm[lo:hi] {
-				w := &wires[switchIdx[pi]]
-				other := w.OtherChannel()
-				if sharedOcc.MoveCost(w.Channel, other, w.Span) < 0 {
-					sharedOcc.Add(w.Channel, w.Span, -1)
-					sharedOcc.Add(other, w.Span, 1)
-					ownOcc.Add(w.Channel, w.Span, -1)
-					ownOcc.Add(other, w.Span, 1)
-					w.Channel = other
-					passFlips++
+			return nil
+		}),
+		stage("switch-opt", func(s *pipeline.Session) error {
+			switchIdx = make([]int, 0, len(wires))
+			for i := range wires {
+				if wires[i].Switchable && !wires[i].Span.Empty() {
+					switchIdx = append(switchIdx, i)
 				}
 			}
-			if opt.NetwiseSyncPerPass > 0 {
-				return allreduceOcc(comm, ownOcc, sharedOcc)
+			for pass := 0; pass < ropt.SwitchPasses; pass++ {
+				perm := rnd.Perm(len(switchIdx))
+				passFlips := 0
+				err := forEachChunk(len(perm), opt.NetwiseSyncPerPass, func(lo, hi int) error {
+					for _, pi := range perm[lo:hi] {
+						w := &wires[switchIdx[pi]]
+						other := w.OtherChannel()
+						if sharedOcc.MoveCost(w.Channel, other, w.Span) < 0 {
+							sharedOcc.Add(w.Channel, w.Span, -1)
+							sharedOcc.Add(other, w.Span, 1)
+							ownOcc.Add(w.Channel, w.Span, -1)
+							ownOcc.Add(other, w.Span, 1)
+							w.Channel = other
+							passFlips++
+						}
+					}
+					if opt.NetwiseSyncPerPass > 0 {
+						return allreduceOcc(comm, ownOcc, sharedOcc)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				switchFlips += passFlips
+				globalFlips, err := mp.AllreduceInt(comm, tagSwitchVote, passFlips, mp.SumInt)
+				if err != nil {
+					return fmt.Errorf("netwise: switch convergence vote: %w", err)
+				}
+				if globalFlips == 0 {
+					break
+				}
+			}
+			s.Count("switch-flips", int64(switchFlips))
+			return nil
+		}),
+		stage("gather", func(_ *pipeline.Session) error {
+			sum := Summary{
+				Rank:         rank,
+				InsertedFts:  inserted,
+				ForcedEdges:  forced,
+				SwitchableWs: len(switchIdx),
+				SwitchFlips:  switchFlips,
+				CoarseFlips:  coarseFlips,
+				RowWidths:    ownRowWidths(sub, block),
+				Phases:       rec.Phases(),
+			}
+			if err := gatherResults(comm, wires, sum, out); err != nil {
+				return fmt.Errorf("netwise: result gather: %w", err)
 			}
 			return nil
-		})
-		if err != nil {
-			return err
-		}
-		switchFlips += passFlips
-		globalFlips, err := mp.AllreduceInt(comm, tagSwitchVote, passFlips, mp.SumInt)
-		if err != nil {
-			return fmt.Errorf("netwise: switch convergence vote: %w", err)
-		}
-		if globalFlips == 0 {
-			break
-		}
+		}),
 	}
-
-	// Phase 6: merge at rank 0.
-	sum := Summary{
-		InsertedFts:  inserted,
-		ForcedEdges:  forced,
-		SwitchableWs: len(switchIdx),
-		SwitchFlips:  switchFlips,
-		CoarseFlips:  coarseFlips,
-		RowWidths:    ownRowWidths(sub, block),
-	}
-	if err := gatherResults(comm, wires, sum, out); err != nil {
-		return fmt.Errorf("netwise: result gather: %w", err)
-	}
-	return nil
+	return pipeline.Run(ctx, ses, stages...)
 }
 
 // forEachChunk splits [0, n) into `chunks` contiguous pieces (at least

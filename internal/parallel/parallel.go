@@ -22,14 +22,15 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"parroute/internal/circuit"
 	"parroute/internal/metrics"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/route"
 )
 
@@ -93,6 +94,11 @@ type Options struct {
 	Chaos *mp.Plan
 	// Limits bounds per-message waits on the real-time engines.
 	Limits mp.Limits
+	// Observers join every worker's pipeline session (and the serial
+	// session under RunBaseline). One observer instance is shared across
+	// all ranks, so implementations must be safe for concurrent use on
+	// the real-time engines. Observers cannot affect routing output.
+	Observers []pipeline.Observer
 
 	// onEngine, when set (tests only), observes the constructed engine
 	// before the run so chaos event logs can be inspected afterwards.
@@ -127,8 +133,10 @@ func workerSeed(base uint64, rank int) uint64 {
 // Run routes the circuit with the selected parallel algorithm and returns
 // the merged result. The input circuit is not modified. The result's
 // Elapsed is the simulated machine time under mp.Virtual and wall time
-// otherwise.
-func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
+// otherwise. Cancelling ctx aborts the run on every rank — including
+// ranks blocked in sends, receives or barriers — with an error wrapping
+// ctx.Err(); no goroutines are leaked.
+func Run(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
@@ -149,11 +157,11 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	var worker func(mp.Comm) error
 	switch opt.Algo {
 	case RowWise:
-		worker = func(comm mp.Comm) error { return rowWiseWorker(comm, c, blocks, owner, opt, out) }
+		worker = func(comm mp.Comm) error { return rowWiseWorker(ctx, comm, c, blocks, owner, opt, out) }
 	case NetWise:
-		worker = func(comm mp.Comm) error { return netWiseWorker(comm, c, blocks, owner, opt, out) }
+		worker = func(comm mp.Comm) error { return netWiseWorker(ctx, comm, c, blocks, owner, opt, out) }
 	case Hybrid:
-		worker = func(comm mp.Comm) error { return hybridWorker(comm, c, blocks, owner, opt, out) }
+		worker = func(comm mp.Comm) error { return hybridWorker(ctx, comm, c, blocks, owner, opt, out) }
 	default:
 		return nil, fmt.Errorf("parallel: unknown algorithm %v", opt.Algo)
 	}
@@ -165,12 +173,12 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	if opt.onEngine != nil {
 		opt.onEngine(eng)
 	}
-	elapsed, err := eng.Run(opt.Procs, worker)
+	elapsed, err := eng.Run(ctx, opt.Procs, worker)
 	if err != nil {
-		if errors.Is(err, mp.ErrRankLost) {
+		if errors.Is(err, mp.ErrRankLost) && ctx.Err() == nil {
 			// Graceful degradation: a rank died mid-phase; the parallel
 			// result is unrecoverable, so rank 0 reroutes serially.
-			return degrade(c, opt, chaos, err)
+			return degrade(ctx, c, opt, chaos, err)
 		}
 		return nil, err
 	}
@@ -191,8 +199,8 @@ func Run(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 // degrade falls back to the serial pipeline after a rank loss. The result
 // is exactly RunBaseline's, marked Degraded, with the fault tallies of
 // the aborted parallel attempt attached.
-func degrade(c *circuit.Circuit, opt Options, chaos *mp.ChaosEngine, cause error) (*metrics.Result, error) {
-	res, err := RunBaseline(c, opt)
+func degrade(ctx context.Context, c *circuit.Circuit, opt Options, chaos *mp.ChaosEngine, cause error) (*metrics.Result, error) {
+	res, err := RunBaseline(ctx, c, opt)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: serial fallback after %w: %w", cause, err)
 	}
@@ -222,20 +230,14 @@ type runOutput struct {
 }
 
 // RunBaseline routes serially with the same route options, producing the
-// "1 processor" reference row of the paper's tables. Elapsed is measured
-// single-threaded wall time, directly comparable to the Virtual engine's
-// simulated times (worker compute spans are measured the same way).
-func RunBaseline(c *circuit.Circuit, opt Options) (*metrics.Result, error) {
+// "1 processor" reference row of the paper's tables. Elapsed is the sum
+// of stage wall times as read through the observer clock, directly
+// comparable to the Virtual engine's simulated times (worker compute
+// spans are measured the same way).
+func RunBaseline(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
-	start := time.Now() //lint:allow nondeterminism elapsed-time measurement for the baseline row, not a routing decision
 	rt := route.NewRouter(c.Clone(), opt.Route)
-	rt.BuildTrees()
-	rt.CoarseRoute()
-	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
-	rt.ConnectNets()
-	rt.OptimizeSwitchable()
-	return rt.Result("twgr-serial", 1, time.Since(start)), nil //lint:allow nondeterminism elapsed-time measurement for the baseline row, not a routing decision
+	return rt.Run(ctx, opt.Observers...)
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -19,7 +20,7 @@ func testCircuit(t *testing.T) *circuit.Circuit {
 
 func baseline(t *testing.T, c *circuit.Circuit) *metrics.Result {
 	t.Helper()
-	res, err := RunBaseline(c, Options{Procs: 1, Route: route.Options{Seed: 1}})
+	res, err := RunBaseline(context.Background(), c, Options{Procs: 1, Route: route.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestSingleWorkerEqualsSerial(t *testing.T) {
 	c := testCircuit(t)
 	base := baseline(t, c)
 	for _, algo := range Algorithms() {
-		res, err := Run(c, Options{Algo: algo, Procs: 1, Route: route.Options{Seed: 1}})
+		res, err := Run(context.Background(), c, Options{Algo: algo, Procs: 1, Route: route.Options{Seed: 1}})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -49,11 +50,11 @@ func TestSingleWorkerEqualsSerial(t *testing.T) {
 func TestParallelDeterministic(t *testing.T) {
 	c := testCircuit(t)
 	for _, algo := range Algorithms() {
-		a, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
+		a, err := Run(context.Background(), c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
-		b, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
+		b, err := Run(context.Background(), c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 3}})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -71,7 +72,7 @@ func TestEnginesProduceIdenticalRouting(t *testing.T) {
 	for _, algo := range Algorithms() {
 		var ref *metrics.Result
 		for _, mode := range []mp.Mode{mp.Virtual, mp.Inproc, mp.TCP} {
-			res, err := Run(c, Options{Algo: algo, Procs: 3, Mode: mode,
+			res, err := Run(context.Background(), c, Options{Algo: algo, Procs: 3, Mode: mode,
 				Route: route.Options{Seed: 5}})
 			if err != nil {
 				t.Fatalf("%v/%v: %v", algo, mode, err)
@@ -96,7 +97,7 @@ func TestAllNetsConnectedUnderPartitioning(t *testing.T) {
 	c := testCircuit(t)
 	for _, algo := range Algorithms() {
 		for _, p := range []int{2, 3, 4, 8} {
-			res, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
+			res, err := Run(context.Background(), c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
 			if err != nil {
 				t.Fatalf("%v p=%d: %v", algo, p, err)
 			}
@@ -112,7 +113,7 @@ func TestQualityDegradationBounded(t *testing.T) {
 	base := baseline(t, c)
 	for _, algo := range Algorithms() {
 		for _, p := range []int{2, 4} {
-			res, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
+			res, err := Run(context.Background(), c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 1}})
 			if err != nil {
 				t.Fatalf("%v p=%d: %v", algo, p, err)
 			}
@@ -139,7 +140,7 @@ func TestWireConservation(t *testing.T) {
 		baseNets[base.Wires[i].Net]++
 	}
 	for _, algo := range Algorithms() {
-		res, err := Run(c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 1}})
+		res, err := Run(context.Background(), c, Options{Algo: algo, Procs: 4, Route: route.Options{Seed: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,13 +158,13 @@ func TestWireConservation(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	c := testCircuit(t)
-	if _, err := Run(c, Options{Procs: 0}); err == nil {
+	if _, err := Run(context.Background(), c, Options{Procs: 0}); err == nil {
 		t.Fatal("Procs=0 accepted")
 	}
-	if _, err := Run(c, Options{Procs: 1000}); err == nil {
+	if _, err := Run(context.Background(), c, Options{Procs: 1000}); err == nil {
 		t.Fatal("more workers than rows accepted")
 	}
-	if _, err := Run(c, Options{Algo: Algorithm(99), Procs: 2}); err == nil {
+	if _, err := Run(context.Background(), c, Options{Algo: Algorithm(99), Procs: 2}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -172,7 +173,7 @@ func TestNetPartitionMethodsAllWork(t *testing.T) {
 	c := testCircuit(t)
 	base := baseline(t, c)
 	for _, m := range partition.Methods() {
-		res, err := Run(c, Options{Algo: Hybrid, Procs: 4,
+		res, err := Run(context.Background(), c, Options{Algo: Hybrid, Procs: 4,
 			Route: route.Options{Seed: 1}, Net: partition.Config{Method: m}})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
@@ -190,12 +191,12 @@ func TestNetwiseSyncKnob(t *testing.T) {
 	c := testCircuit(t)
 	// More syncs must not be cheaper (simulated time) at the same quality
 	// scale; both settings must route every net.
-	blind, err := Run(c, Options{Algo: NetWise, Procs: 4,
+	blind, err := Run(context.Background(), c, Options{Algo: NetWise, Procs: 4,
 		Route: route.Options{Seed: 1}, NetwiseSyncPerPass: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	chatty, err := Run(c, Options{Algo: NetWise, Procs: 4,
+	chatty, err := Run(context.Background(), c, Options{Algo: NetWise, Procs: 4,
 		Route: route.Options{Seed: 1}, NetwiseSyncPerPass: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -288,14 +289,56 @@ func TestBuildSubCircuit(t *testing.T) {
 	}
 }
 
-func TestMaxPhasesAggregation(t *testing.T) {
+func TestMergePhasesAggregation(t *testing.T) {
 	sums := []any{
 		Summary{Rank: 0, Phases: []metrics.Phase{{Name: "a", Elapsed: 5}, {Name: "b", Elapsed: 2}}},
 		Summary{Rank: 1, Phases: []metrics.Phase{{Name: "a", Elapsed: 3}, {Name: "b", Elapsed: 9}}},
 	}
-	got := maxPhases(sums)
+	got := mergePhases(sums)
 	if len(got) != 2 || got[0].Name != "a" || got[0].Elapsed != 5 || got[1].Elapsed != 9 {
-		t.Fatalf("maxPhases = %+v", got)
+		t.Fatalf("mergePhases = %+v", got)
+	}
+}
+
+// TestMergePhasesKeepsPhasesMissingOnRankZero pins the regression fix: the
+// old aggregation was keyed on rank 0's phase list, so a phase another
+// rank recorded (e.g. extra sync rounds, or rank 0 skipping an empty
+// stage) silently vanished from the merged result.
+func TestMergePhasesKeepsPhasesMissingOnRankZero(t *testing.T) {
+	sums := []any{
+		Summary{Rank: 0, Phases: []metrics.Phase{{Name: "a", Elapsed: 5}}},
+		Summary{Rank: 1, Phases: []metrics.Phase{
+			{Name: "a", Elapsed: 3},
+			{Name: "only-on-one", Elapsed: 7},
+		}},
+	}
+	got := mergePhases(sums)
+	if len(got) != 2 {
+		t.Fatalf("merged %d phases, want 2: %+v", len(got), got)
+	}
+	if got[1].Name != "only-on-one" || got[1].Elapsed != 7 {
+		t.Fatalf("phase absent on rank 0 was dropped or mangled: %+v", got)
+	}
+}
+
+// TestMergePhasesSumsCounters: per-phase counters are totals of per-rank
+// work, so they add across ranks (while elapsed takes the slowest rank,
+// the parallel critical path).
+func TestMergePhasesSumsCounters(t *testing.T) {
+	sums := []any{
+		Summary{Rank: 0, Phases: []metrics.Phase{{Name: "connect", Elapsed: 4,
+			Counters: []metrics.Counter{{Name: "wires", Value: 10}}}}},
+		Summary{Rank: 1, Phases: []metrics.Phase{{Name: "connect", Elapsed: 6,
+			Counters: []metrics.Counter{{Name: "wires", Value: 32}, {Name: "forced-edges", Value: 1}}}}},
+	}
+	got := mergePhases(sums)
+	if len(got) != 1 || got[0].Elapsed != 6 {
+		t.Fatalf("mergePhases = %+v", got)
+	}
+	cs := got[0].Counters
+	if len(cs) != 2 || cs[0].Name != "wires" || cs[0].Value != 42 ||
+		cs[1].Name != "forced-edges" || cs[1].Value != 1 {
+		t.Fatalf("merged counters = %+v", cs)
 	}
 }
 
@@ -341,7 +384,7 @@ func TestRowWiseQualityDegradesWithWorkers(t *testing.T) {
 	base := baseline(t, c)
 	prev := float64(0.99) // allow tiny noise at p=2
 	for _, p := range []int{2, 8} {
-		res, err := Run(c, Options{Algo: RowWise, Procs: p, Route: route.Options{Seed: 1}})
+		res, err := Run(context.Background(), c, Options{Algo: RowWise, Procs: p, Route: route.Options{Seed: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -360,11 +403,11 @@ func TestHybridBeatsRowWiseQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := Run(c, Options{Algo: RowWise, Procs: 8, Route: route.Options{Seed: 1}})
+	row, err := Run(context.Background(), c, Options{Algo: RowWise, Procs: 8, Route: route.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, err := Run(c, Options{Algo: Hybrid, Procs: 8, Route: route.Options{Seed: 1}})
+	hyb, err := Run(context.Background(), c, Options{Algo: Hybrid, Procs: 8, Route: route.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +419,7 @@ func TestHybridBeatsRowWiseQuality(t *testing.T) {
 
 func TestSummariesMergeCounts(t *testing.T) {
 	c := testCircuit(t)
-	res, err := Run(c, Options{Algo: RowWise, Procs: 4, Route: route.Options{Seed: 1}})
+	res, err := Run(context.Background(), c, Options{Algo: RowWise, Procs: 4, Route: route.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +479,7 @@ func TestChannelDensitySumStableAcrossBlockCounts(t *testing.T) {
 	// serial fills (sanity against dropped channels in the merge).
 	c := testCircuit(t)
 	base := baseline(t, c)
-	res, err := Run(c, Options{Algo: Hybrid, Procs: 4, Route: route.Options{Seed: 1}})
+	res, err := Run(context.Background(), c, Options{Algo: Hybrid, Procs: 4, Route: route.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,11 +497,11 @@ func TestTrimmedSubcircuitsIdenticalResults(t *testing.T) {
 	c := testCircuit(t)
 	for _, algo := range []Algorithm{RowWise, Hybrid} {
 		for _, p := range []int{1, 3, 8} {
-			full, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5}})
+			full, err := Run(context.Background(), c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5}})
 			if err != nil {
 				t.Fatalf("%v p=%d: %v", algo, p, err)
 			}
-			trim, err := Run(c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5},
+			trim, err := Run(context.Background(), c, Options{Algo: algo, Procs: p, Route: route.Options{Seed: 5},
 				TrimSubcircuits: true})
 			if err != nil {
 				t.Fatalf("%v p=%d trimmed: %v", algo, p, err)

@@ -1,11 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 
 	"parroute/internal/circuit"
 	"parroute/internal/mp"
 	"parroute/internal/partition"
+	"parroute/internal/pipeline"
 	"parroute/internal/route"
 )
 
@@ -23,74 +25,114 @@ import (
 //  4. Before switchable optimization, the occupancy of each shared
 //     boundary channel is exchanged with the neighbor.
 //  5. Wires and counters are gathered and merged at rank 0.
-func rowWiseWorker(comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
+//
+// Each step is a pipeline stage over the rank's session; stage names
+// shared with the serial router are the serial router's own.
+func rowWiseWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, blocks []partition.RowBlock,
 	owner []int, opt Options, out *runOutput) error {
 
 	rank := comm.Rank()
 	block := blocks[rank]
-	sw := newStopwatch()
-
-	// Phase 1+2: distributed Steiner trees -> fake pins -> sub-circuit.
-	specs := computeCrossings(base, blocks, owner, rank)
-	sw.lap("crossings")
-	myFakes, err := exchangeFakePins(comm, specs)
-	if err != nil {
-		return fmt.Errorf("rowwise: fake-pin exchange: %w", err)
-	}
-	sw.reset()
-	var sub *circuit.Circuit
-	if opt.TrimSubcircuits {
-		sub = buildTrimmedSubCircuit(base, block, myFakes)
-	} else {
-		sub = buildSubCircuit(base, block, myFakes)
-	}
-	sw.lap("subcircuit")
-
-	// Phase 3: the serial pipeline on the sub-circuit.
 	ropt := opt.Route
 	ropt.Seed = workerSeed(opt.Route.Seed, rank)
 	ropt.GridWidth = base.CoreWidth()
-	rt := route.NewRouter(sub, ropt)
-	rt.BuildTrees()
-	rt.CoarseRoute()
-	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
-	rt.ConnectNets()
 
-	// Phase 4: boundary-channel sync, then switchable optimization with
-	// the neighbors' wires as background.
-	coreW, err := globalCoreWidth(comm, sub, block)
-	if err != nil {
-		return fmt.Errorf("rowwise: core-width sync: %w", err)
-	}
-	occ := route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
-	occ.AddWires(rt.Wires)
-	if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
-		return fmt.Errorf("rowwise: boundary-occupancy sync: %w", err)
-	}
-	sw.reset()
-	switchable := 0
-	for i := range rt.Wires {
-		if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
-			switchable++
-		}
-	}
-	flips := route.OptimizeSwitchable(rt.Wires, occ, rt.Rand, ropt.SwitchPasses)
-	sw.lap("switch-opt")
+	// State flowing between stages.
+	var (
+		sub     *circuit.Circuit
+		rt      *route.Router
+		myFakes []FakePinSpec
+		occ     *route.Occupancy
+		flips   int
+	)
 
-	// Phase 5: merge at rank 0.
-	sum := Summary{
-		Rank:         rank,
-		InsertedFts:  rt.InsertedFts,
-		ForcedEdges:  rt.ForcedEdges,
-		SwitchableWs: switchable,
-		SwitchFlips:  flips,
-		CoarseFlips:  rt.CoarseFlips,
-		RowWidths:    ownRowWidths(sub, block),
-		Phases:       append(sw.phases, rt.Phases()...),
+	ses, rec := workerSession(opt)
+	stages := []pipeline.Stage{
+		stage("crossings", func(s *pipeline.Session) error {
+			specs := computeCrossings(base, blocks, owner, rank)
+			var err error
+			myFakes, err = exchangeFakePins(comm, specs)
+			if err != nil {
+				return fmt.Errorf("rowwise: fake-pin exchange: %w", err)
+			}
+			s.Count("fake-pins", int64(len(myFakes)))
+			return nil
+		}),
+		stage("subcircuit", func(_ *pipeline.Session) error {
+			if opt.TrimSubcircuits {
+				sub = buildTrimmedSubCircuit(base, block, myFakes)
+			} else {
+				sub = buildSubCircuit(base, block, myFakes)
+			}
+			rt = route.NewRouter(sub, ropt)
+			return nil
+		}),
+		stage("steiner", func(s *pipeline.Session) error {
+			rt.BuildTrees()
+			s.Count("segments", int64(len(rt.Segs)))
+			return nil
+		}),
+		stage("coarse", func(s *pipeline.Session) error {
+			rt.CoarseRoute()
+			s.Count("coarse-flips", int64(rt.CoarseFlips))
+			return nil
+		}),
+		stage("ft-insert", func(s *pipeline.Session) error {
+			rt.InsertFeedthroughs()
+			s.Count("inserted-fts", int64(rt.InsertedFts))
+			return nil
+		}),
+		stage("ft-assign", func(_ *pipeline.Session) error {
+			rt.AssignFeedthroughs()
+			return nil
+		}),
+		stage("connect", func(s *pipeline.Session) error {
+			rt.ConnectNets()
+			s.Count("wires", int64(len(rt.Wires)))
+			s.Count("forced-edges", int64(rt.ForcedEdges))
+			return nil
+		}),
+		stage("stitch", func(_ *pipeline.Session) error {
+			// Boundary-channel sync: agree on the core width, then add the
+			// neighbors' shared-channel wires as fixed background.
+			coreW, err := globalCoreWidth(comm, sub, block)
+			if err != nil {
+				return fmt.Errorf("rowwise: core-width sync: %w", err)
+			}
+			occ = route.NewOccupancy(sub.NumChannels(), coreW, ropt.GridColWidth)
+			occ.AddWires(rt.Wires)
+			if err := syncBoundaryOccupancy(comm, blocks, occ); err != nil {
+				return fmt.Errorf("rowwise: boundary-occupancy sync: %w", err)
+			}
+			return nil
+		}),
+		stage("switch-opt", func(s *pipeline.Session) error {
+			flips = route.OptimizeSwitchable(rt.Wires, occ, rt.Rand, ropt.SwitchPasses)
+			s.Count("switch-flips", int64(flips))
+			return nil
+		}),
+		stage("gather", func(_ *pipeline.Session) error {
+			switchable := 0
+			for i := range rt.Wires {
+				if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
+					switchable++
+				}
+			}
+			sum := Summary{
+				Rank:         rank,
+				InsertedFts:  rt.InsertedFts,
+				ForcedEdges:  rt.ForcedEdges,
+				SwitchableWs: switchable,
+				SwitchFlips:  flips,
+				CoarseFlips:  rt.CoarseFlips,
+				RowWidths:    ownRowWidths(sub, block),
+				Phases:       rec.Phases(),
+			}
+			if err := gatherResults(comm, rt.Wires, sum, out); err != nil {
+				return fmt.Errorf("rowwise: result gather: %w", err)
+			}
+			return nil
+		}),
 	}
-	if err := gatherResults(comm, rt.Wires, sum, out); err != nil {
-		return fmt.Errorf("rowwise: result gather: %w", err)
-	}
-	return nil
+	return pipeline.Run(ctx, ses, stages...)
 }

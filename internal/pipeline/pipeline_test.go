@@ -1,0 +1,217 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"parroute/internal/metrics"
+)
+
+// eventLog records the observer callback sequence.
+type eventLog struct {
+	events []string
+	ends   []StageMetrics
+}
+
+func (l *eventLog) StageStart(stage string) { l.events = append(l.events, "start:"+stage) }
+func (l *eventLog) StageEnd(stage string, m StageMetrics) {
+	l.events = append(l.events, "end:"+stage)
+	l.ends = append(l.ends, m)
+}
+
+func TestRunExecutesStagesInOrder(t *testing.T) {
+	var order []string
+	log := &eventLog{}
+	s := NewSession(log)
+	err := Run(context.Background(), s,
+		Func("a", func(context.Context, *Session) error { order = append(order, "a"); return nil }),
+		Func("b", func(context.Context, *Session) error { order = append(order, "b"); return nil }),
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Fatalf("stage order = %q, want a,b", got)
+	}
+	want := []string{"start:a", "end:a", "start:b", "end:b"}
+	if got := strings.Join(log.events, " "); got != strings.Join(want, " ") {
+		t.Fatalf("observer events = %q, want %q", got, strings.Join(want, " "))
+	}
+}
+
+func TestRunStopsOnStageError(t *testing.T) {
+	boom := errors.New("boom")
+	log := &eventLog{}
+	s := NewSession(log)
+	ran := false
+	err := Run(context.Background(), s,
+		Func("fail", func(context.Context, *Session) error { return boom }),
+		Func("next", func(context.Context, *Session) error { ran = true; return nil }),
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrap of %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), `stage "fail"`) {
+		t.Fatalf("error %q does not name the failing stage", err)
+	}
+	if ran {
+		t.Fatal("stage after failure still ran")
+	}
+	// The failing stage must still produce a StageEnd carrying the error.
+	if len(log.ends) != 1 || !errors.Is(log.ends[0].Err, boom) {
+		t.Fatalf("StageEnd for failing stage: ends=%v", log.ends)
+	}
+}
+
+func TestRunChecksContextBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSession()
+	ran := false
+	err := Run(ctx, s,
+		Func("first", func(context.Context, *Session) error { cancel(); return nil }),
+		Func("second", func(context.Context, *Session) error { ran = true; return nil }),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("stage ran after cancellation")
+	}
+	if !strings.Contains(err.Error(), `"second"`) {
+		t.Fatalf("error %q does not name the stage it stopped before", err)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Run(ctx, NewSession(), Func("never", func(context.Context, *Session) error {
+		t.Fatal("stage ran under expired deadline")
+		return nil
+	}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCountersAreStageScopedAndOrdered(t *testing.T) {
+	log := &eventLog{}
+	s := NewSession(log)
+	err := Run(context.Background(), s,
+		Func("a", func(_ context.Context, s *Session) error {
+			s.Count("z", 1)
+			s.Count("a", 2)
+			s.Count("z", 3) // accumulate, keep first-report position
+			return nil
+		}),
+		Func("b", func(_ context.Context, s *Session) error {
+			s.Count("only-b", 7)
+			return nil
+		}),
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantA := []Counter{{Name: "z", Value: 4}, {Name: "a", Value: 2}}
+	if got := log.ends[0].Counters; len(got) != 2 || got[0] != wantA[0] || got[1] != wantA[1] {
+		t.Fatalf("stage a counters = %v, want %v", got, wantA)
+	}
+	if got := log.ends[1].Counters; len(got) != 1 || got[0] != (Counter{Name: "only-b", Value: 7}) {
+		t.Fatalf("stage b counters = %v (counters leaked across stages?)", got)
+	}
+}
+
+func TestCollectAllocs(t *testing.T) {
+	log := &eventLog{}
+	s := NewSession(log)
+	s.CollectAllocs = true
+	sink := make([][]byte, 0, 64)
+	err := Run(context.Background(), s, Func("alloc", func(context.Context, *Session) error {
+		for i := 0; i < 64; i++ {
+			sink = append(sink, make([]byte, 1024))
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_ = sink
+	if log.ends[0].Allocs <= 0 || log.ends[0].Bytes <= 0 {
+		t.Fatalf("alloc deltas not collected: %+v", log.ends[0])
+	}
+}
+
+func TestPhaseRecorder(t *testing.T) {
+	rec := NewPhaseRecorder()
+	rec.StageEnd("steiner", StageMetrics{Wall: 2 * time.Millisecond, Counters: []Counter{{Name: "nets", Value: 5}}})
+	rec.StageEnd("coarse", StageMetrics{Wall: 3 * time.Millisecond})
+	ph := rec.Phases()
+	if len(ph) != 2 || ph[0].Name != "steiner" || ph[1].Name != "coarse" {
+		t.Fatalf("phases = %v", ph)
+	}
+	if len(ph[0].Counters) != 1 || ph[0].Counters[0] != (metrics.Counter{Name: "nets", Value: 5}) {
+		t.Fatalf("phase counters = %v", ph[0].Counters)
+	}
+	if rec.Total() != 5*time.Millisecond {
+		t.Fatalf("Total = %v, want 5ms", rec.Total())
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rec := NewTraceRecorder()
+	rec.StageEnd("steiner", StageMetrics{Wall: time.Millisecond, Allocs: 10, Bytes: 640,
+		Counters: []Counter{{Name: "trees", Value: 12}}})
+	rec.StageEnd("connect", StageMetrics{Wall: 2 * time.Millisecond, Err: errors.New("cut short")})
+	tr := rec.Trace("primary1", "rowwise", 4)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if back.Schema != TraceSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+	if back.Circuit != "primary1" || back.Algo != "rowwise" || back.Procs != 4 {
+		t.Fatalf("identity fields lost: %+v", back)
+	}
+	if len(back.Stages) != 2 {
+		t.Fatalf("stages = %v", back.Stages)
+	}
+	st := back.Stages[0]
+	if st.Name != "steiner" || st.WallNS != time.Millisecond.Nanoseconds() || st.Allocs != 10 || st.Bytes != 640 {
+		t.Fatalf("stage[0] = %+v", st)
+	}
+	if len(st.Counters) != 1 || st.Counters[0] != (TraceCounter{Name: "trees", Value: 12}) {
+		t.Fatalf("stage[0] counters = %v", st.Counters)
+	}
+	if back.Stages[1].Error != "cut short" {
+		t.Fatalf("stage[1] error = %q", back.Stages[1].Error)
+	}
+}
+
+func TestReadTraceRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"schema":"parroute-trace/999","stages":[]}`)); err == nil {
+		t.Fatal("ReadTrace accepted unknown schema")
+	}
+}
+
+func TestTraceFromPhases(t *testing.T) {
+	tr := TraceFromPhases("biomed", "hybrid", 8, []metrics.Phase{
+		{Name: "crossings", Elapsed: time.Millisecond, Counters: []metrics.Counter{{Name: "cuts", Value: 3}}},
+		{Name: "stitch", Elapsed: 2 * time.Millisecond},
+	})
+	if tr.Schema != TraceSchema || tr.Circuit != "biomed" || tr.Algo != "hybrid" || tr.Procs != 8 {
+		t.Fatalf("trace identity: %+v", tr)
+	}
+	if len(tr.Stages) != 2 || tr.Stages[0].Counters[0] != (TraceCounter{Name: "cuts", Value: 3}) {
+		t.Fatalf("stages = %+v", tr.Stages)
+	}
+}

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"parroute/internal/metrics"
+)
+
+// TraceSchema identifies the on-disk form of a per-stage timeline written
+// by `twgr -trace`. Readers reject unknown schemas.
+const TraceSchema = "parroute-trace/1"
+
+// Trace is the machine-readable per-stage timeline of one routing run:
+// stage names, wall times, allocation deltas, and stage-scoped counters,
+// exactly as the observer chain saw them.
+type Trace struct {
+	Schema  string       `json:"schema"`
+	Circuit string       `json:"circuit,omitempty"`
+	Algo    string       `json:"algo,omitempty"`
+	Procs   int          `json:"procs,omitempty"`
+	Stages  []TraceStage `json:"stages"`
+}
+
+// TraceStage is one stage's record in a Trace.
+type TraceStage struct {
+	Name      string         `json:"name"`
+	WallNS    int64          `json:"wallNs"`
+	Allocs    int64          `json:"allocs,omitempty"`
+	Bytes     int64          `json:"bytes,omitempty"`
+	Counters  []TraceCounter `json:"counters,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Cancelled bool           `json:"cancelled,omitempty"`
+}
+
+// TraceCounter is one stage-scoped counter in a Trace.
+type TraceCounter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// TraceRecorder is an observer that accumulates a Trace. Not safe for
+// concurrent use; attach one per pipeline run.
+type TraceRecorder struct {
+	trace Trace
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{trace: Trace{Schema: TraceSchema}}
+}
+
+func (r *TraceRecorder) StageStart(string) {}
+
+func (r *TraceRecorder) StageEnd(stage string, m StageMetrics) {
+	ts := TraceStage{Name: stage, WallNS: m.Wall.Nanoseconds(), Allocs: m.Allocs, Bytes: m.Bytes}
+	for _, c := range m.Counters {
+		ts.Counters = append(ts.Counters, TraceCounter{Name: c.Name, Value: c.Value})
+	}
+	if m.Err != nil {
+		ts.Error = m.Err.Error()
+	}
+	r.trace.Stages = append(r.trace.Stages, ts)
+}
+
+// Trace returns the recorded timeline, annotated with the run identity.
+func (r *TraceRecorder) Trace(circuit, algo string, procs int) *Trace {
+	t := r.trace
+	t.Circuit, t.Algo, t.Procs = circuit, algo, procs
+	return &t
+}
+
+// TraceFromPhases builds a Trace out of merged metrics.Phase records —
+// the parallel path, where per-rank observer timelines are aggregated
+// into Result.Phases before they reach the writer.
+func TraceFromPhases(circuit, algo string, procs int, phases []metrics.Phase) *Trace {
+	t := &Trace{Schema: TraceSchema, Circuit: circuit, Algo: algo, Procs: procs}
+	for _, p := range phases {
+		ts := TraceStage{Name: p.Name, WallNS: p.Elapsed.Nanoseconds()}
+		for _, c := range p.Counters {
+			ts.Counters = append(ts.Counters, TraceCounter{Name: c.Name, Value: c.Value})
+		}
+		t.Stages = append(t.Stages, ts)
+	}
+	return t
+}
+
+// WriteTrace serializes the trace as indented JSON.
+func WriteTrace(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace parses a trace and validates its schema.
+func ReadTrace(rd io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding trace: %w", err)
+	}
+	if t.Schema != TraceSchema {
+		return nil, fmt.Errorf("pipeline: trace schema %q, want %q", t.Schema, TraceSchema)
+	}
+	return &t, nil
+}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"testing"
 
 	"parroute/internal/gen"
@@ -31,7 +32,9 @@ func BenchmarkPhases(b *testing.B) {
 	})
 	b.Run("full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			Route(c, Options{Seed: 1})
+			if _, err := Route(context.Background(), c, Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package route_test
 
 import (
+	"context"
 	"fmt"
 
 	"parroute/internal/gen"
@@ -11,10 +12,17 @@ import (
 // quality measures the paper reports.
 func ExampleRoute() {
 	c := gen.Tiny(1)
-	res := route.Route(c, route.Options{Seed: 1})
+	res, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	again, err := route.Route(context.Background(), c, route.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("tracks:", res.TotalTracks)
 	fmt.Println("forced edges:", res.ForcedEdges)
-	fmt.Println("deterministic:", res.TotalTracks == route.Route(c, route.Options{Seed: 1}).TotalTracks)
+	fmt.Println("deterministic:", res.TotalTracks == again.TotalTracks)
 	// Output:
 	// tracks: 31
 	// forced edges: 0

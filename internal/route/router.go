@@ -2,6 +2,7 @@ package route
 
 import (
 	"cmp"
+	"context"
 	"slices"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"parroute/internal/geom"
 	"parroute/internal/grid"
 	"parroute/internal/metrics"
+	"parroute/internal/pipeline"
 	"parroute/internal/rng"
 	"parroute/internal/steiner"
 )
@@ -50,79 +52,110 @@ func NewRouter(c *circuit.Circuit, opt Options) *Router {
 }
 
 // Route runs the full five-step pipeline on a clone of c and returns the
-// result. The input circuit is left untouched.
-func Route(c *circuit.Circuit, opt Options) *metrics.Result {
+// result. The input circuit is left untouched. Cancelling ctx stops the
+// run at the next stage boundary with an error wrapping ctx.Err().
+func Route(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Result, error) {
 	rt := NewRouter(c.Clone(), opt)
-	return rt.Run()
+	return rt.Run(ctx)
 }
 
-// Run executes all phases in order and returns the finalized result.
-func (rt *Router) Run() *metrics.Result {
-	start := time.Now() //lint:allow nondeterminism elapsed-time measurement reported in Result, not a routing decision
-	rt.BuildTrees()
-	rt.CoarseRoute()
-	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
-	rt.ConnectNets()
-	rt.OptimizeSwitchable()
-	return rt.Result("twgr-serial", 1, time.Since(start)) //lint:allow nondeterminism elapsed-time measurement reported in Result, not a routing decision
+// Stages returns the serial TWGR pipeline: the five paper steps (step 2
+// contributes both the coarse sweep and feedthrough insertion) as named
+// pipeline stages. The names are canonical — the parallel drivers reuse
+// them for the identical steps so per-stage records are comparable across
+// algorithms.
+func (rt *Router) Stages() []pipeline.Stage {
+	return []pipeline.Stage{
+		pipeline.Func("steiner", func(_ context.Context, s *pipeline.Session) error {
+			rt.BuildTrees()
+			s.Count("segments", int64(len(rt.Segs)))
+			return nil
+		}),
+		pipeline.Func("coarse", func(_ context.Context, s *pipeline.Session) error {
+			rt.CoarseRoute()
+			s.Count("coarse-flips", int64(rt.CoarseFlips))
+			return nil
+		}),
+		pipeline.Func("ft-insert", func(_ context.Context, s *pipeline.Session) error {
+			rt.InsertFeedthroughs()
+			s.Count("inserted-fts", int64(rt.InsertedFts))
+			return nil
+		}),
+		pipeline.Func("ft-assign", func(_ context.Context, s *pipeline.Session) error {
+			rt.AssignFeedthroughs()
+			s.Count("extra-fts", int64(rt.ExtraFts))
+			return nil
+		}),
+		pipeline.Func("connect", func(_ context.Context, s *pipeline.Session) error {
+			rt.ConnectNets()
+			s.Count("wires", int64(len(rt.Wires)))
+			s.Count("forced-edges", int64(rt.ForcedEdges))
+			return nil
+		}),
+		pipeline.Func("switch-opt", func(_ context.Context, s *pipeline.Session) error {
+			rt.OptimizeSwitchable()
+			s.Count("switch-flips", int64(rt.SwitchFlips))
+			return nil
+		}),
+	}
 }
 
-func (rt *Router) timePhase(name string, f func()) {
-	t := time.Now() //lint:allow nondeterminism phase-time measurement reported in Result, not a routing decision
-	f()
-	rt.phases = append(rt.phases, metrics.Phase{Name: name, Elapsed: time.Since(t)}) //lint:allow nondeterminism phase-time measurement reported in Result, not a routing decision
+// Run executes all stages in order under ctx and returns the finalized
+// result. Extra observers (tracing, benchmarking) join the built-in phase
+// recorder; they cannot affect routing output.
+func (rt *Router) Run(ctx context.Context, obs ...pipeline.Observer) (*metrics.Result, error) {
+	rec := pipeline.NewPhaseRecorder()
+	s := pipeline.NewSession(append([]pipeline.Observer{rec}, obs...)...)
+	if err := pipeline.Run(ctx, s, rt.Stages()...); err != nil {
+		return nil, err
+	}
+	rt.phases = rec.Phases()
+	return rt.Result("twgr-serial", 1, rec.Total()), nil
 }
 
 // BuildTrees is step 1: the approximate Steiner tree of every net,
 // flattened into placed segments with resolved channel access.
 func (rt *Router) BuildTrees() {
-	rt.timePhase("steiner", func() {
-		// Each k-pin net contributes exactly k-1 segments.
-		total := 0
-		for n := range rt.C.Nets {
-			if k := len(rt.C.Nets[n].Pins); k >= 2 {
-				total += k - 1
-			}
+	// Each k-pin net contributes exactly k-1 segments.
+	total := 0
+	for n := range rt.C.Nets {
+		if k := len(rt.C.Nets[n].Pins); k >= 2 {
+			total += k - 1
 		}
-		rt.Segs = slices.Grow(rt.Segs, total)
-		var b steiner.Builder
-		var segBuf []steiner.Segment
-		for n := range rt.C.Nets {
-			segBuf = b.AppendNet(segBuf[:0], rt.C, n)
-			for _, seg := range segBuf {
-				rt.Segs = append(rt.Segs, place(rt.C, seg))
-			}
+	}
+	rt.Segs = slices.Grow(rt.Segs, total)
+	var b steiner.Builder
+	var segBuf []steiner.Segment
+	for n := range rt.C.Nets {
+		segBuf = b.AppendNet(segBuf[:0], rt.C, n)
+		for _, seg := range segBuf {
+			rt.Segs = append(rt.Segs, place(rt.C, seg))
 		}
-	})
+	}
 }
 
 // UseSegments installs externally built segments (the parallel algorithms
 // build trees once and ship the pieces) instead of calling BuildTrees.
 func (rt *Router) UseSegments(segs []steiner.Segment) {
-	rt.timePhase("steiner-install", func() {
-		rt.Segs = make([]PlacedSeg, 0, len(segs))
-		for _, seg := range segs {
-			rt.Segs = append(rt.Segs, place(rt.C, seg))
-		}
-	})
+	rt.Segs = make([]PlacedSeg, 0, len(segs))
+	for _, seg := range segs {
+		rt.Segs = append(rt.Segs, place(rt.C, seg))
+	}
 }
 
 // CoarseRoute is step 2: load every segment into the coarse grid at its
 // initial bend, then sweep the segments in random order flipping L
 // orientations whenever that lowers congestion + feedthrough cost.
 func (rt *Router) CoarseRoute() {
-	rt.timePhase("coarse", func() {
-		width := rt.Opt.GridWidth
-		if width <= 0 {
-			width = rt.C.CoreWidth()
-		}
-		rt.Grid = grid.New(len(rt.C.Rows), width, rt.Opt.GridColWidth)
-		for i := range rt.Segs {
-			addRuns(rt.Grid, rt.Segs[i].CurrentRuns(), 1)
-		}
-		rt.CoarseFlips += improveBends(rt.Grid, rt.Segs, rt.Rand, rt.Opt.CoarsePasses, rt.Opt.FtBase)
-	})
+	width := rt.Opt.GridWidth
+	if width <= 0 {
+		width = rt.C.CoreWidth()
+	}
+	rt.Grid = grid.New(len(rt.C.Rows), width, rt.Opt.GridColWidth)
+	for i := range rt.Segs {
+		addRuns(rt.Grid, rt.Segs[i].CurrentRuns(), 1)
+	}
+	rt.CoarseFlips += improveBends(rt.Grid, rt.Segs, rt.Rand, rt.Opt.CoarsePasses, rt.Opt.FtBase)
 }
 
 // flipCand caches the static geometry of one flippable segment so the
@@ -194,34 +227,32 @@ func improveBends(g *grid.Grid, segs []PlacedSeg, r *rng.RNG, passes int, ftBase
 // demand as physical feedthrough cells, then refresh segment geometry
 // (insertion shifts cells and the pins on them).
 func (rt *Router) InsertFeedthroughs() {
-	rt.timePhase("ft-insert", func() {
-		rt.FtPinsByRow = make([][]int, len(rt.C.Rows))
-		// Pre-size the circuit tables for the total demand, then insert in
-		// deferred mode: cell-attached pin positions are re-synced once at
-		// the end instead of per insertion.
-		rowCounts := make([]int, rt.Grid.Rows)
-		total := 0
-		for row := 0; row < rt.Grid.Rows; row++ {
-			for col := 0; col < rt.Grid.Cols; col++ {
-				rowCounts[row] += rt.Grid.FtDemand(row, col)
-			}
-			total += rowCounts[row]
+	rt.FtPinsByRow = make([][]int, len(rt.C.Rows))
+	// Pre-size the circuit tables for the total demand, then insert in
+	// deferred mode: cell-attached pin positions are re-synced once at
+	// the end instead of per insertion.
+	rowCounts := make([]int, rt.Grid.Rows)
+	total := 0
+	for row := 0; row < rt.Grid.Rows; row++ {
+		for col := 0; col < rt.Grid.Cols; col++ {
+			rowCounts[row] += rt.Grid.FtDemand(row, col)
 		}
-		rt.C.GrowForFeedthroughs(total, rowCounts)
-		for row := 0; row < rt.Grid.Rows; row++ {
-			rt.FtPinsByRow[row] = make([]int, 0, rowCounts[row])
-			for col := 0; col < rt.Grid.Cols; col++ {
-				demand := rt.Grid.FtDemand(row, col)
-				for i := 0; i < demand; i++ {
-					pin := rt.C.InsertFeedthroughDeferred(row, rt.Grid.ColCenter(col), circuit.NoNet)
-					rt.FtPinsByRow[row] = append(rt.FtPinsByRow[row], pin)
-					rt.InsertedFts++
-				}
+		total += rowCounts[row]
+	}
+	rt.C.GrowForFeedthroughs(total, rowCounts)
+	for row := 0; row < rt.Grid.Rows; row++ {
+		rt.FtPinsByRow[row] = make([]int, 0, rowCounts[row])
+		for col := 0; col < rt.Grid.Cols; col++ {
+			demand := rt.Grid.FtDemand(row, col)
+			for i := 0; i < demand; i++ {
+				pin := rt.C.InsertFeedthroughDeferred(row, rt.Grid.ColCenter(col), circuit.NoNet)
+				rt.FtPinsByRow[row] = append(rt.FtPinsByRow[row], pin)
+				rt.InsertedFts++
 			}
 		}
-		rt.C.SyncPinX()
-		rt.refreshSegs()
-	})
+	}
+	rt.C.SyncPinX()
+	rt.refreshSegs()
 }
 
 // refreshSegs re-reads endpoint positions from the circuit after cell
@@ -246,74 +277,72 @@ type crossing struct {
 // order-preserving matching minimizes total displacement). Binding a pin
 // attaches it to the segment's net, which makes it a step-4 node.
 func (rt *Router) AssignFeedthroughs() {
-	rt.timePhase("ft-assign", func() {
-		byRow := make([][]crossing, len(rt.C.Rows))
-		for i := range rt.Segs {
-			runs := rt.Segs[i].CurrentRuns()
-			if !runs.HasVert() {
-				continue
-			}
-			for row := runs.VLo; row <= runs.VHi; row++ {
-				byRow[row] = append(byRow[row], crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i})
-			}
+	byRow := make([][]crossing, len(rt.C.Rows))
+	for i := range rt.Segs {
+		runs := rt.Segs[i].CurrentRuns()
+		if !runs.HasVert() {
+			continue
 		}
-		// Every crossing binds one feedthrough pin to its net; growing the
-		// nets' pin lists up front keeps the binding loop append-free.
-		netExtra := make(map[int]int)
-		for row := range byRow {
-			for _, cr := range byRow[row] {
-				netExtra[cr.net]++
+		for row := runs.VLo; row <= runs.VHi; row++ {
+			byRow[row] = append(byRow[row], crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i})
+		}
+	}
+	// Every crossing binds one feedthrough pin to its net; growing the
+	// nets' pin lists up front keeps the binding loop append-free.
+	netExtra := make(map[int]int)
+	for row := range byRow {
+		for _, cr := range byRow[row] {
+			netExtra[cr.net]++
+		}
+	}
+	for n, extra := range netExtra {
+		rt.C.Nets[n].Pins = slices.Grow(rt.C.Nets[n].Pins, extra)
+	}
+	for row := range byRow {
+		crossings := byRow[row]
+		slices.SortFunc(crossings, func(a, b crossing) int {
+			if a.x != b.x {
+				return cmp.Compare(a.x, b.x)
 			}
-		}
-		for n, extra := range netExtra {
-			rt.C.Nets[n].Pins = slices.Grow(rt.C.Nets[n].Pins, extra)
-		}
-		for row := range byRow {
-			crossings := byRow[row]
-			slices.SortFunc(crossings, func(a, b crossing) int {
-				if a.x != b.x {
-					return cmp.Compare(a.x, b.x)
-				}
-				if a.net != b.net {
-					return cmp.Compare(a.net, b.net)
-				}
-				// Two same-net segments can cross a row at the same x; the
-				// segment index makes the order (and thus the pin binding)
-				// independent of sort internals.
-				return cmp.Compare(a.seg, b.seg)
-			})
-			fts := rt.FtPinsByRow[row]
-			slices.SortFunc(fts, func(a, b int) int {
-				if ax, bx := rt.C.Pins[a].X, rt.C.Pins[b].X; ax != bx {
-					return cmp.Compare(ax, bx)
-				}
-				// Same-x feedthrough pins are interchangeable for routing,
-				// but break the tie by pin ID so the binding permutation is
-				// deterministic rather than sort-internal.
-				return cmp.Compare(a, b)
-			})
-			for i, cr := range crossings {
-				var pinID int
-				if i < len(fts) {
-					pinID = fts[i]
-				} else {
-					// Demand bookkeeping failed to cover this crossing;
-					// recover by inserting one more feedthrough here.
-					pinID = rt.C.InsertFeedthrough(row, cr.x, circuit.NoNet)
-					rt.ExtraFts++
-					rt.InsertedFts++
-				}
-				rt.bindFt(pinID, cr.net)
+			if a.net != b.net {
+				return cmp.Compare(a.net, b.net)
 			}
-			if len(fts) > len(crossings) {
-				rt.UnboundFts += len(fts) - len(crossings)
+			// Two same-net segments can cross a row at the same x; the
+			// segment index makes the order (and thus the pin binding)
+			// independent of sort internals.
+			return cmp.Compare(a.seg, b.seg)
+		})
+		fts := rt.FtPinsByRow[row]
+		slices.SortFunc(fts, func(a, b int) int {
+			if ax, bx := rt.C.Pins[a].X, rt.C.Pins[b].X; ax != bx {
+				return cmp.Compare(ax, bx)
 			}
-			rt.FtPinsByRow[row] = nil
+			// Same-x feedthrough pins are interchangeable for routing,
+			// but break the tie by pin ID so the binding permutation is
+			// deterministic rather than sort-internal.
+			return cmp.Compare(a, b)
+		})
+		for i, cr := range crossings {
+			var pinID int
+			if i < len(fts) {
+				pinID = fts[i]
+			} else {
+				// Demand bookkeeping failed to cover this crossing;
+				// recover by inserting one more feedthrough here.
+				pinID = rt.C.InsertFeedthrough(row, cr.x, circuit.NoNet)
+				rt.ExtraFts++
+				rt.InsertedFts++
+			}
+			rt.bindFt(pinID, cr.net)
 		}
-		if rt.ExtraFts > 0 {
-			rt.refreshSegs()
+		if len(fts) > len(crossings) {
+			rt.UnboundFts += len(fts) - len(crossings)
 		}
-	})
+		rt.FtPinsByRow[row] = nil
+	}
+	if rt.ExtraFts > 0 {
+		rt.refreshSegs()
+	}
 }
 
 // bindFt attaches an unbound feedthrough pin to a net.
@@ -329,60 +358,61 @@ func (rt *Router) bindFt(pinID, netID int) {
 // in the channel that is cheaper at the moment it is placed; step 5 then
 // iterates on those choices.
 func (rt *Router) ConnectNets() {
-	rt.timePhase("connect", func() {
-		occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
-		rt.NetNodes = make([][]Node, len(rt.C.Nets))
-		// A k-node net yields exactly k-1 connections, so the output size
-		// is known up front; per-net node lists carve out of one arena.
-		total, totalNodes := 0, 0
-		for n := range rt.C.Nets {
-			if k := len(rt.C.Nets[n].Pins); k >= 2 {
-				total += k - 1
-				totalNodes += k
-			}
+	occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
+	rt.NetNodes = make([][]Node, len(rt.C.Nets))
+	// A k-node net yields exactly k-1 connections, so the output size
+	// is known up front; per-net node lists carve out of one arena.
+	total, totalNodes := 0, 0
+	for n := range rt.C.Nets {
+		if k := len(rt.C.Nets[n].Pins); k >= 2 {
+			total += k - 1
+			totalNodes += k
 		}
-		rt.Conns = slices.Grow(rt.Conns, total)
-		rt.Wires = slices.Grow(rt.Wires, total)
-		arena := make([]Node, 0, totalNodes)
-		var cn Connector
-		for n := range rt.C.Nets {
-			pins := rt.C.Nets[n].Pins
-			if len(pins) < 2 {
-				continue
-			}
-			nodes := arena[len(arena) : len(arena)+len(pins) : len(arena)+len(pins)]
-			arena = arena[:len(arena)+len(pins)]
-			for i, pid := range pins {
-				p := &rt.C.Pins[pid]
-				nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
-			}
-			rt.NetNodes[n] = nodes
-			conns, forced := cn.Connect(n, nodes, occ)
-			rt.ForcedEdges += forced
-			for i := range conns {
-				rt.Conns = append(rt.Conns, conns[i])
-				rt.Wires = append(rt.Wires, conns[i].Wire(nodes))
-			}
+	}
+	rt.Conns = slices.Grow(rt.Conns, total)
+	rt.Wires = slices.Grow(rt.Wires, total)
+	arena := make([]Node, 0, totalNodes)
+	var cn Connector
+	for n := range rt.C.Nets {
+		pins := rt.C.Nets[n].Pins
+		if len(pins) < 2 {
+			continue
 		}
-	})
+		nodes := arena[len(arena) : len(arena)+len(pins) : len(arena)+len(pins)]
+		arena = arena[:len(arena)+len(pins)]
+		for i, pid := range pins {
+			p := &rt.C.Pins[pid]
+			nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
+		}
+		rt.NetNodes[n] = nodes
+		conns, forced := cn.Connect(n, nodes, occ)
+		rt.ForcedEdges += forced
+		for i := range conns {
+			rt.Conns = append(rt.Conns, conns[i])
+			rt.Wires = append(rt.Wires, conns[i].Wire(nodes))
+		}
+	}
 }
 
 // OptimizeSwitchable is step 5 over the wires produced by ConnectNets.
 func (rt *Router) OptimizeSwitchable() {
-	rt.timePhase("switch-opt", func() {
-		occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
-		occ.AddWires(rt.Wires)
-		for i := range rt.Wires {
-			if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
-				rt.switchableWs++
-			}
+	occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
+	occ.AddWires(rt.Wires)
+	for i := range rt.Wires {
+		if rt.Wires[i].Switchable && !rt.Wires[i].Span.Empty() {
+			rt.switchableWs++
 		}
-		rt.SwitchFlips += OptimizeSwitchable(rt.Wires, occ, rt.Rand, rt.Opt.SwitchPasses)
-	})
+	}
+	rt.SwitchFlips += OptimizeSwitchable(rt.Wires, occ, rt.Rand, rt.Opt.SwitchPasses)
 }
 
-// Phases returns the wall time of each phase run so far.
+// Phases returns the per-stage records of the last Run (nil when the
+// step methods were driven directly).
 func (rt *Router) Phases() []metrics.Phase { return rt.phases }
+
+// SetPhases installs externally recorded per-stage records (the parallel
+// drivers run their own pipeline sessions) so Result carries them.
+func (rt *Router) SetPhases(ph []metrics.Phase) { rt.phases = ph }
 
 // Result assembles and finalizes the metrics for a completed run.
 func (rt *Router) Result(algo string, procs int, elapsed time.Duration) *metrics.Result {

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,14 +15,27 @@ func routeSmall(t *testing.T, seed uint64) (*circuit.Circuit, *Router, *metrics.
 	t.Helper()
 	c := gen.Small(seed)
 	rt := NewRouter(c.Clone(), Options{Seed: seed})
-	res := rt.Run()
+	res, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
 	return c, rt, res
+}
+
+// mustRoute is the test-side shim over the context-taking entry point.
+func mustRoute(t *testing.T, c *circuit.Circuit, opt Options) *metrics.Result {
+	t.Helper()
+	res, err := Route(context.Background(), c, opt)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	return res
 }
 
 func TestRouteLeavesInputUntouched(t *testing.T) {
 	c := gen.Small(1)
 	cells, pins := len(c.Cells), len(c.Pins)
-	Route(c, Options{Seed: 1})
+	mustRoute(t, c, Options{Seed: 1})
 	if len(c.Cells) != cells || len(c.Pins) != pins {
 		t.Fatal("Route mutated its input circuit")
 	}
@@ -32,8 +46,8 @@ func TestRouteLeavesInputUntouched(t *testing.T) {
 
 func TestRouteDeterministic(t *testing.T) {
 	c := gen.Small(3)
-	a := Route(c, Options{Seed: 9})
-	b := Route(c, Options{Seed: 9})
+	a := mustRoute(t, c, Options{Seed: 9})
+	b := mustRoute(t, c, Options{Seed: 9})
 	if a.TotalTracks != b.TotalTracks || a.Area != b.Area || a.Wirelength != b.Wirelength {
 		t.Fatalf("same seed differs: %d/%d tracks", a.TotalTracks, b.TotalTracks)
 	}
@@ -45,7 +59,7 @@ func TestRouteDeterministic(t *testing.T) {
 			t.Fatalf("wire %d differs", i)
 		}
 	}
-	c2 := Route(c, Options{Seed: 10})
+	c2 := mustRoute(t, c, Options{Seed: 10})
 	if c2.TotalTracks == a.TotalTracks && c2.SwitchFlips == a.SwitchFlips &&
 		c2.CoarseFlips == a.CoarseFlips {
 		t.Fatal("different seeds produced suspiciously identical runs")
@@ -201,8 +215,8 @@ func TestCoarsePassesConverge(t *testing.T) {
 	// More passes never increase the grid cost proxy dramatically; the
 	// flip counter grows monotonically with passes.
 	c := gen.Small(23)
-	r1 := Route(c, Options{Seed: 1, CoarsePasses: 1})
-	r4 := Route(c, Options{Seed: 1, CoarsePasses: 4})
+	r1 := mustRoute(t, c, Options{Seed: 1, CoarsePasses: 1})
+	r4 := mustRoute(t, c, Options{Seed: 1, CoarsePasses: 4})
 	if r4.CoarseFlips < r1.CoarseFlips {
 		t.Fatalf("flips decreased with more passes: %d vs %d", r4.CoarseFlips, r1.CoarseFlips)
 	}
@@ -312,7 +326,9 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	check := func(name string, corrupt func(rt *Router)) {
 		c := gen.Small(41)
 		rt := NewRouter(c.Clone(), Options{Seed: 41})
-		rt.Run()
+		if _, err := rt.Run(context.Background()); err != nil {
+			t.Fatalf("route: %v", err)
+		}
 		corrupt(rt)
 		if err := rt.Verify(); err == nil {
 			t.Errorf("%s: Verify accepted a corrupted route", name)
@@ -388,7 +404,7 @@ func TestQualityIndependentOfNetOrder(t *testing.T) {
 	// of the routing order of the nets". Permute net IDs (same geometry,
 	// different processing order) and require near-identical track counts.
 	base := gen.Small(47)
-	res1 := Route(base, Options{Seed: 3})
+	res1 := mustRoute(t, base, Options{Seed: 3})
 
 	// Rebuild the circuit with reversed net numbering.
 	perm := make([]int, len(base.Nets))
@@ -416,7 +432,7 @@ func TestQualityIndependentOfNetOrder(t *testing.T) {
 	if err := shuffled.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res2 := Route(shuffled, Options{Seed: 3})
+	res2 := mustRoute(t, shuffled, Options{Seed: 3})
 
 	diff := float64(res2.TotalTracks-res1.TotalTracks) / float64(res1.TotalTracks)
 	if diff < 0 {

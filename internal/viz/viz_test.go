@@ -2,6 +2,7 @@ package viz
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"strings"
 	"testing"
@@ -13,7 +14,10 @@ import (
 func TestWriteSVGWellFormed(t *testing.T) {
 	c := gen.Tiny(3)
 	rt := route.NewRouter(c.Clone(), route.Options{Seed: 1})
-	res := rt.Run()
+	res, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	if err := WriteSVG(&buf, rt.C, res.Wires, Options{}); err != nil {
@@ -50,7 +54,10 @@ func TestWriteSVGWellFormed(t *testing.T) {
 func TestWriteSVGMaxWiresCap(t *testing.T) {
 	c := gen.Tiny(3)
 	rt := route.NewRouter(c.Clone(), route.Options{Seed: 1})
-	res := rt.Run()
+	res, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var full, capped bytes.Buffer
 	if err := WriteSVG(&full, rt.C, res.Wires, Options{}); err != nil {

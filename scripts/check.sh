@@ -39,6 +39,15 @@ chaos_soak() {
 step "chaos soak (seed 1)" chaos_soak 1
 step "chaos soak (seed 2)" chaos_soak 2
 
+# Cancellation tier: cancelling mid-stage must unwind every algorithm on
+# every engine with an error wrapping context.Canceled and zero leaked
+# goroutines (see DESIGN.md §10).
+cancel_tier() {
+  go test -race -count=1 -run 'RunContext|RunBackground|Cancel|SerialDeadline|ParallelTimeout' \
+    ./internal/mp ./internal/parallel
+}
+step "cancellation tier" cancel_tier
+
 # Bench smoke: the serial hot path still runs end to end under the
 # benchmark harness, and the committed perf baseline stays parseable
 # under the current report schema (see DESIGN.md §9).
@@ -47,5 +56,21 @@ bench_smoke() {
 }
 step "bench smoke (serial route)" bench_smoke
 step "perf baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR4.json
+
+# Trace smoke: `twgr -trace` emits a timeline that `-checktrace` accepts,
+# for both the live serial recorder and the merged parallel phases (see
+# DESIGN.md §10).
+trace_smoke() {
+  local tmp
+  tmp="$(mktemp -d)"
+  go run ./cmd/twgr -preset avq.small -trace "$tmp/serial.json" >/dev/null &&
+    go run ./cmd/twgr -checktrace "$tmp/serial.json" >/dev/null &&
+    go run ./cmd/twgr -preset avq.small -algo hybrid -p 4 -trace "$tmp/hybrid.json" >/dev/null &&
+    go run ./cmd/twgr -checktrace "$tmp/hybrid.json" >/dev/null
+  local rc=$?
+  rm -rf "$tmp"
+  return $rc
+}
+step "trace smoke (twgr -trace/-checktrace)" trace_smoke
 
 echo "check.sh: all gates passed"
