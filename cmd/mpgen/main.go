@@ -1,0 +1,47 @@
+// Command mpgen regenerates the mp message set's derived artifacts: the
+// per-package mpwire_gen.go codec files and the mp_protocol.json manifest
+// that internal/lint's manifest-aware analyzers enforce. Run it via
+// `go generate ./...` (internal/parallel and internal/mp carry the
+// directives) or directly; `mpgen -check` verifies the checked-in output
+// is current without writing, and is wired into scripts/check.sh and CI
+// as the drift gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parroute/internal/mpgen"
+)
+
+func main() {
+	check := flag.Bool("check", false, "verify generated files are current; write nothing")
+	root := flag.String("root", ".", "directory inside the module to regenerate")
+	flag.Parse()
+
+	if *check {
+		stale, err := mpgen.Check(*root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(stale) > 0 {
+			for _, f := range stale {
+				fmt.Fprintf(os.Stderr, "mpgen: stale generated file: %s\n", f)
+			}
+			fmt.Fprintln(os.Stderr, "mpgen: run `go generate ./...` (or `go run parroute/cmd/mpgen`) and commit the result")
+			os.Exit(1)
+		}
+		return
+	}
+
+	wrote, err := mpgen.Write(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range wrote {
+		fmt.Println(f)
+	}
+}

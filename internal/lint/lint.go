@@ -150,6 +150,7 @@ func Analyzers() []*Analyzer {
 		analyzerCollectiveCongruence,
 		analyzerTagDiscipline,
 		analyzerSendRecvPairing,
+		analyzerManifestDrift,
 		analyzerSortOrder,
 		analyzerCtxRule,
 	}

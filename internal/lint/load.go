@@ -30,6 +30,9 @@ type Module struct {
 	// proto is the lazily built module-wide protocol index shared by the
 	// mpproto analyzers; see protocolIndex in mpproto.go.
 	proto *protoIndex
+	// manifests caches protocol-manifest lookups by file path; see
+	// manifestFor in manifest.go.
+	manifests map[string]*manifestEntry
 }
 
 // Package is one type-checked package of the module.
@@ -50,6 +53,10 @@ type loader struct {
 	fset *token.FileSet
 	std  types.Importer
 	pkgs map[string]*Package
+	// skip lists file base names excluded from every package. mpgen scans
+	// with its own generated output excluded, so a stale (even no longer
+	// type-checking) mpwire_gen.go never blocks regeneration.
+	skip map[string]bool
 	// loading guards against import cycles, which the go toolchain rejects
 	// anyway but would otherwise recurse forever here.
 	loading map[string]bool
@@ -63,6 +70,7 @@ func newLoader(root, path string) *loader {
 		fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    map[string]*Package{},
+		skip:    map[string]bool{},
 		loading: map[string]bool{},
 	}
 }
@@ -124,7 +132,7 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || l.skip[name] {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -177,11 +185,21 @@ func findModule(dir string) (root, path string, err error) {
 // LoadModule loads every package of the module containing dir, skipping
 // testdata and hidden directories (the same set `go build ./...` sees).
 func LoadModule(dir string) (*Module, error) {
+	return LoadModuleSkipping(dir)
+}
+
+// LoadModuleSkipping is LoadModule with files whose base name appears in
+// skipBase excluded from every package. mpgen scans with its own output
+// file excluded so stale generated code cannot block regeneration.
+func LoadModuleSkipping(dir string, skipBase ...string) (*Module, error) {
 	root, path, err := findModule(dir)
 	if err != nil {
 		return nil, err
 	}
 	l := newLoader(root, path)
+	for _, name := range skipBase {
+		l.skip[name] = true
+	}
 	var pkgDirs []string
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -194,7 +212,7 @@ func LoadModule(dir string) (*Module, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") && !l.skip[d.Name()] {
 			dir := filepath.Dir(p)
 			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
 				pkgDirs = append(pkgDirs, dir)

@@ -36,6 +36,10 @@ func runSendRecvPairing(p *Pass) {
 			checkSelfPeers(p, fd)
 			checkSizeLoops(p, fd)
 		}
+		// The manifest cross-check: sending sites must carry payloads the
+		// manifest's tag table recorded at the last regeneration (see
+		// manifest.go).
+		checkManifestTagSites(p, f)
 	}
 }
 

@@ -41,9 +41,16 @@ var analyzerTagDiscipline = &Analyzer{
 
 func runTagDiscipline(p *Pass) {
 	idx := p.Mod.protocolIndex()
+	man := p.Mod.manifestFor(p.Pkg)
 	for _, f := range p.Pkg.Files {
 		checkTagSites(p, f)
 		checkOrphanTags(p, idx, f)
+		// The manifest cross-check: in packages covered by a protocol
+		// manifest, every declared tag constant must appear in its tag
+		// table with the same value (see manifest.go).
+		if man != nil && man.Covers(p.Pkg.Path) {
+			checkManifestTags(p, man, f)
+		}
 	}
 }
 

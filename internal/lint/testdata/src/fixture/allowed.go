@@ -98,3 +98,15 @@ type sessionAllowed struct {
 
 // RankAllowedSession keeps sessionAllowed used.
 func (s *sessionAllowed) RankAllowedSession() int { return s.rank }
+
+// allowedSpec mirrors driftSpec for the suppressed manifest-drift twin.
+type allowedSpec struct {
+	Net int
+	X   int
+}
+
+//mp:payload
+type allowedBatch []allowedSpec //lint:allow manifest-drift fixture: suppressed payload layout drift
+
+// CarryAllowed keeps allowedBatch used.
+func CarryAllowed(b allowedBatch) int { return len(b) }

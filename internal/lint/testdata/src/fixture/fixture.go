@@ -147,3 +147,20 @@ type session struct {
 
 // Rank returns the stored rank (keeps session used).
 func (s *session) Rank() int { return s.rank }
+
+// driftSpec is the element type of driftedBatch. The package-local
+// mp_protocol.json still records the layout before X was added.
+type driftSpec struct {
+	Net int
+	X   int
+}
+
+// driftedBatch violates manifest-drift: the //mp:payload layout gained a
+// field after the last regeneration, so the committed manifest prices
+// each element 8 bytes short.
+//
+//mp:payload
+type driftedBatch []driftSpec
+
+// Carry keeps driftedBatch used.
+func Carry(b driftedBatch) int { return len(b) }

@@ -2,7 +2,6 @@ package mp
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"strconv"
@@ -236,13 +235,16 @@ func (s FaultSnapshot) String() string {
 }
 
 // chaosMsg is the wire wrapper carrying the per-(sender, tag) sequence
-// number that makes delivery idempotent.
+// number that makes delivery idempotent. Its codec, flat pricing
+// (8-byte Seq plus the wrapped payload's own flat price — so chaos runs
+// cost what the application message costs, not a gob re-encode), and
+// registration are generated into mpwire_gen.go.
+//
+//mp:payload
 type chaosMsg struct {
 	Seq uint64
 	V   any
 }
-
-func init() { gob.Register(chaosMsg{}) }
 
 // ChaosEngine injects a Plan's faults into an inner engine. Build one
 // with Chaos (or Config.Engine with Config.Chaos set), run a workload,

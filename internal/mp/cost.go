@@ -72,10 +72,17 @@ type Sizer interface {
 	WireSize() int
 }
 
-// frameOverhead approximates the fixed per-message framing of the gob
-// wire format (type headers plus the wireEnv fields) for payloads priced
-// without encoding.
+// frameOverhead approximates the fixed per-message framing of the wire
+// format (type headers plus the wireEnv fields) for payloads priced
+// without encoding. It is charged exactly once per message.
 const frameOverhead = 16
+
+// elemHeader is the per-element framing of a value nested inside a
+// message — the flat codec's u32 type id plus u32 length prefix. The
+// flat batch encodings (mp.Sizer) price their elements with no header at
+// all, so []any, the one heterogeneous container the collectives relay,
+// is the only place it applies; see elemSize.
+const elemHeader = 8
 
 // countingWriter counts bytes written through it.
 type countingWriter struct{ n int }
@@ -85,37 +92,50 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// payloadSize measures the wire size of a payload: directly for Sizer
-// implementations and the builtin payload shapes the collectives send
-// (flat fixed-width pricing), by gob-encoding into a counter otherwise.
-// Unencodable payloads (which would also fail on the TCP engine) are
-// priced at a fixed small size rather than failing — the Virtual engine
-// should never alter program behaviour.
+// payloadSize measures the wire size of one message: the fixed message
+// framing plus the payload's body size.
 func payloadSize(v any) int {
+	return frameOverhead + elemSize(v)
+}
+
+// elemSize measures a payload's body: directly for Sizer implementations
+// and the builtin payload shapes the collectives send (flat fixed-width
+// pricing), by gob-encoding into a counter otherwise. A []any — the
+// heterogeneous per-rank container the collectives relay (e.g.
+// Allgather's Bcast stage) — prices each element at its body size plus
+// the flat codec's per-element header, never at a full per-message frame:
+// the elements travel inside one message, consistent with the flat batch
+// encodings. Unencodable payloads (which would also fail on the TCP
+// engine) are priced at a fixed small size rather than failing — the
+// Virtual engine should never alter program behaviour.
+func elemSize(v any) int {
 	switch p := v.(type) {
 	case Sizer:
-		return frameOverhead + p.WireSize()
+		return p.WireSize()
 	case []int32:
-		return frameOverhead + 4*len(p)
+		return 4 * len(p)
 	case int:
-		return frameOverhead + 8
+		return 8
 	case bool:
-		return frameOverhead + 1
+		return 1
 	case []any:
-		// Collectives relay per-rank values as []any (e.g. Allgather's
-		// Bcast stage); price the elements individually.
-		n := frameOverhead
+		n := 0
 		for _, e := range p {
-			n += payloadSize(e)
+			n += elemHeader + elemSize(e)
 		}
 		return n
 	}
 	var cw countingWriter
 	enc := gob.NewEncoder(&cw)
 	if err := enc.Encode(&wireEnv{V: v}); err != nil {
-		return 64
+		return 64 - frameOverhead
 	}
-	return cw.n
+	// The gob stream carries its own type headers; subtract the flat
+	// frame so payloadSize prices the whole message at the encoded size.
+	if cw.n <= frameOverhead {
+		return cw.n
+	}
+	return cw.n - frameOverhead
 }
 
 // wireEnv is the gob frame shared by the TCP engine and the Virtual

@@ -1,0 +1,272 @@
+package mp
+
+//go:generate go run parroute/cmd/mpgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// The parroute-mpwire/1 flat binary codec: the length-prefixed
+// little-endian encoding the mpgen-generated AppendWire/DecodeWire
+// methods implement. Integers travel as fixed-width little-endian
+// (8 bytes for int/int64/uint64, 1 byte for bool and byte-sized types),
+// strings and slices carry a u32 length/count prefix, and interface
+// values carry a u32 wire type id plus a u32 body length (id 0 falls
+// back to gob for unregistered payloads). The encoding is canonical —
+// one byte sequence per value — which is what lets FuzzCodec assert
+// encode→decode→re-encode byte-identity.
+//
+// This file is the hand-written substrate: append/consume primitives and
+// the wire-id registry generated init functions populate. The per-type
+// codecs themselves live in the mpwire_gen.go files (`go generate ./...`
+// or `go run parroute/cmd/mpgen` regenerates them; `mpgen -check` is the
+// CI drift gate).
+
+// WireSchemaVersion names the codec format carried in the protocol
+// manifest (mp_protocol.json).
+const WireSchemaVersion = "parroute-mpwire/1"
+
+// ErrWire is wrapped by every decode error: truncated input, oversized
+// counts, or malformed values.
+var ErrWire = errors.New("mp: malformed wire data")
+
+func wireErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrWire, fmt.Sprintf(format, args...))
+}
+
+// AppendUint32 appends v in little-endian order.
+func AppendUint32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+// AppendUint64 appends v in little-endian order.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// AppendInt appends v as a little-endian int64.
+func AppendInt(buf []byte, v int) []byte {
+	return AppendUint64(buf, uint64(int64(v)))
+}
+
+// AppendInt64 appends v in little-endian order.
+func AppendInt64(buf []byte, v int64) []byte {
+	return AppendUint64(buf, uint64(v))
+}
+
+// AppendBool appends v as one byte (0 or 1).
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendString appends a u32 length prefix and the string bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// WireUint32 consumes a little-endian u32.
+func WireUint32(data []byte) (uint32, []byte, error) {
+	if len(data) < 4 {
+		return 0, nil, wireErr("truncated uint32: %d byte(s) left", len(data))
+	}
+	return binary.LittleEndian.Uint32(data), data[4:], nil
+}
+
+// WireUint64 consumes a little-endian u64.
+func WireUint64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, wireErr("truncated uint64: %d byte(s) left", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// WireInt consumes a little-endian int64 as an int.
+func WireInt(data []byte) (int, []byte, error) {
+	v, rest, err := WireUint64(data)
+	return int(int64(v)), rest, err
+}
+
+// WireInt64 consumes a little-endian int64.
+func WireInt64(data []byte) (int64, []byte, error) {
+	v, rest, err := WireUint64(data)
+	return int64(v), rest, err
+}
+
+// WireByte consumes one byte.
+func WireByte(data []byte) (byte, []byte, error) {
+	if len(data) < 1 {
+		return 0, nil, wireErr("truncated byte")
+	}
+	return data[0], data[1:], nil
+}
+
+// WireBool consumes one byte, rejecting values other than 0 and 1 so the
+// encoding stays canonical (decode→re-encode is byte-identical).
+func WireBool(data []byte) (bool, []byte, error) {
+	b, rest, err := WireByte(data)
+	if err != nil {
+		return false, nil, err
+	}
+	if b > 1 {
+		return false, nil, wireErr("bool byte %d is not 0 or 1", b)
+	}
+	return b == 1, rest, nil
+}
+
+// WireString consumes a u32 length prefix and that many bytes.
+func WireString(data []byte) (string, []byte, error) {
+	n, rest, err := WireUint32(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(n) > uint64(len(rest)) {
+		return "", nil, wireErr("string length %d exceeds %d remaining byte(s)", n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// WireCount consumes a u32 element count, bounding it by the remaining
+// input (every generated element encoding consumes at least one byte, so
+// a count beyond len(rest) cannot be satisfied and would only serve to
+// force a huge allocation).
+func WireCount(data []byte) (int, []byte, error) {
+	n, rest, err := WireUint32(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if uint64(n) > uint64(len(rest)) {
+		return 0, nil, wireErr("count %d exceeds %d remaining byte(s)", n, len(rest))
+	}
+	return int(n), rest, nil
+}
+
+// ---- interface (any) encoding ----
+
+// anyCodec adapts one registered payload type to the interface encoding.
+type anyCodec struct {
+	id  uint32
+	app func(v any, buf []byte) ([]byte, error)
+	dec func(data []byte) (any, []byte, error)
+}
+
+// gobWireID is the reserved id of the gob fallback encoding.
+const gobWireID = 0
+
+var wireRegistry = struct {
+	sync.RWMutex
+	byID   map[uint32]*anyCodec
+	byType map[reflect.Type]*anyCodec
+}{
+	byID:   map[uint32]*anyCodec{},
+	byType: map[reflect.Type]*anyCodec{},
+}
+
+// RegisterWireCodec registers a generated flat codec for the concrete
+// type of prototype under the manifest's wire id, making values of that
+// type cross AppendAny/WireAny without gob. Called from generated init
+// functions; a conflicting re-registration panics, matching gob.Register.
+func RegisterWireCodec(id uint32, prototype any,
+	app func(v any, buf []byte) ([]byte, error),
+	dec func(data []byte) (any, []byte, error)) {
+	if id == gobWireID {
+		panic("mp: RegisterWireCodec: id 0 is reserved for the gob fallback") //lint:allow panic-in-library registration-time programming error, like gob.Register
+	}
+	t := reflect.TypeOf(prototype)
+	wireRegistry.Lock()
+	defer wireRegistry.Unlock()
+	if prev, ok := wireRegistry.byID[id]; ok && prev != wireRegistry.byType[t] {
+		panic(fmt.Sprintf("mp: RegisterWireCodec: id %d already registered", id)) //lint:allow panic-in-library registration-time programming error, like gob.Register
+	}
+	c := &anyCodec{id: id, app: app, dec: dec}
+	wireRegistry.byID[id] = c
+	wireRegistry.byType[t] = c
+}
+
+func codecByType(v any) *anyCodec {
+	wireRegistry.RLock()
+	defer wireRegistry.RUnlock()
+	return wireRegistry.byType[reflect.TypeOf(v)]
+}
+
+func codecByID(id uint32) *anyCodec {
+	wireRegistry.RLock()
+	defer wireRegistry.RUnlock()
+	return wireRegistry.byID[id]
+}
+
+// AppendAny appends an interface value: u32 wire id, u32 body length,
+// body. Registered types use their generated flat codec; everything else
+// travels as gob under id 0 (payload types must then be registered with
+// RegisterPayload, exactly as on the TCP engine).
+func AppendAny(buf []byte, v any) ([]byte, error) {
+	if c := codecByType(v); c != nil {
+		buf = AppendUint32(buf, c.id)
+		lenAt := len(buf)
+		buf = AppendUint32(buf, 0) // patched below
+		buf, err := c.app(v, buf)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+		return buf, nil
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&wireEnv{V: v}); err != nil {
+		return nil, fmt.Errorf("mp: AppendAny: %w", err)
+	}
+	buf = AppendUint32(buf, gobWireID)
+	buf = AppendUint32(buf, uint32(body.Len()))
+	return append(buf, body.Bytes()...), nil
+}
+
+// WireAny consumes an interface value written by AppendAny.
+func WireAny(data []byte) (any, []byte, error) {
+	id, rest, err := WireUint32(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, rest, err := WireUint32(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n) > uint64(len(rest)) {
+		return nil, nil, wireErr("any body length %d exceeds %d remaining byte(s)", n, len(rest))
+	}
+	body, tail := rest[:n], rest[n:]
+	if id == gobWireID {
+		var env wireEnv
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+			return nil, nil, wireErr("gob payload: %v", err)
+		}
+		return env.V, tail, nil
+	}
+	c := codecByID(id)
+	if c == nil {
+		return nil, nil, wireErr("unknown wire type id %d", id)
+	}
+	v, after, err := c.dec(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(after) != 0 {
+		return nil, nil, wireErr("wire type id %d left %d undecoded byte(s)", id, len(after))
+	}
+	return v, tail, nil
+}
+
+// anyWireSize prices an interface field the way the flat codec frames
+// it: the per-element header (type id + length) plus the payload's own
+// flat price. Used by generated WireSize methods (chaosMsg).
+func anyWireSize(v any) int {
+	return elemHeader + elemSize(v)
+}

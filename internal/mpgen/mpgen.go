@@ -1,0 +1,68 @@
+package mpgen
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Write scans root's module, renders every generated file, and writes the
+// ones whose content changed. It returns the module-relative paths it
+// rewrote.
+func Write(root string) ([]string, error) {
+	m, err := Scan(root)
+	if err != nil {
+		return nil, err
+	}
+	files, err := m.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var wrote []string
+	for _, rel := range sortedKeys(files) {
+		abs := filepath.Join(m.Root, filepath.FromSlash(rel))
+		if old, err := os.ReadFile(abs); err == nil && bytes.Equal(old, files[rel]) {
+			continue
+		}
+		if err := os.WriteFile(abs, files[rel], 0o644); err != nil {
+			return wrote, fmt.Errorf("mpgen: %w", err)
+		}
+		wrote = append(wrote, rel)
+	}
+	return wrote, nil
+}
+
+// Check scans root's module and reports every generated file that is
+// missing or stale on disk, without writing anything. An empty result
+// means the checked-in output matches what mpgen would emit — the CI
+// drift gate.
+func Check(root string) ([]string, error) {
+	m, err := Scan(root)
+	if err != nil {
+		return nil, err
+	}
+	files, err := m.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var stale []string
+	for _, rel := range sortedKeys(files) {
+		abs := filepath.Join(m.Root, filepath.FromSlash(rel))
+		old, err := os.ReadFile(abs)
+		if err != nil || !bytes.Equal(old, files[rel]) {
+			stale = append(stale, rel)
+		}
+	}
+	return stale, nil
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,362 @@
+// Package mpgen derives the mp message set's codecs, pricing, and
+// protocol manifest from the payload structs themselves. It scans the
+// module with the same stdlib-only loader the lint suite uses
+// (internal/lint), discovers every type annotated with the //mp:payload
+// directive, and emits per-package mpwire_gen.go files (flat binary
+// codecs, WireSize pricing, registration glue) plus mp_protocol.json —
+// the machine-readable protocol contract internal/lint's manifest-aware
+// analyzers enforce. cmd/mpgen is the CLI; `mpgen -check` is the CI
+// drift gate.
+package mpgen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"parroute/internal/lint"
+	"parroute/internal/mpproto"
+)
+
+// GeneratedFileName is the per-package output file.
+const GeneratedFileName = "mpwire_gen.go"
+
+// PayloadType is one //mp:payload-annotated type scheduled for
+// generation.
+type PayloadType struct {
+	Name   string
+	Type   types.Type
+	WireID uint32
+	Entry  mpproto.TypeEntry
+}
+
+// GenPackage is one package that receives a generated file.
+type GenPackage struct {
+	Path    string
+	Dir     string
+	PkgName string
+	Types   []PayloadType
+}
+
+// Model is everything the generator needs: the packages to write and the
+// manifest they imply.
+type Model struct {
+	Root     string
+	Module   string
+	Pkgs     []*GenPackage
+	Manifest *mpproto.Manifest
+}
+
+// builtinEntries are the payload shapes mp.payloadSize prices directly,
+// without a generated codec: they cross the interface encoding as gob
+// (wire id 0).
+func builtinEntries() []mpproto.TypeEntry {
+	return []mpproto.TypeEntry{
+		{Name: "[]any", Kind: mpproto.TypeBuiltin, Elem: "any"},
+		{Name: "[]int32", Kind: mpproto.TypeBuiltin, Elem: "int32", FlatWidth: 4},
+		{Name: "bool", Kind: mpproto.TypeBuiltin, FlatWidth: 1},
+		{Name: "int", Kind: mpproto.TypeBuiltin, FlatWidth: 8},
+	}
+}
+
+// collectivePayloadArg maps each mp collective helper to the index of its
+// payload argument (-1 when the payload is not a single value worth
+// recording). Barrier is tracked for the manifest's collective census
+// even though it carries no tag or payload.
+var collectivePayloadArg = map[string]int{
+	"Bcast":           3,
+	"Gather":          3,
+	"Allgather":       2,
+	"AllreduceInt32s": 2,
+	"AllreduceInt":    2,
+	"Alltoall":        2,
+	"Reduce":          3,
+	"Scatter":         3,
+	"Scan":            2,
+}
+
+// collectiveTagArg mirrors the tag argument indices of the collectives.
+var collectiveTagArg = map[string]int{
+	"Bcast":           2,
+	"Gather":          2,
+	"Allgather":       1,
+	"AllreduceInt32s": 1,
+	"AllreduceInt":    1,
+	"Alltoall":        1,
+	"Reduce":          2,
+	"Scatter":         2,
+	"Scan":            1,
+}
+
+// isTagName matches the repository's protocol tag naming convention.
+func isTagName(name string) bool {
+	return strings.HasPrefix(name, "tag") && len(name) > len("tag")
+}
+
+// calleeFunc resolves the statically known called function of call.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Scan loads the module containing root and builds the generation model:
+// marked payload types with deterministic wire ids, the tag table with
+// statically visible payload associations, and the collective census.
+// The generated files themselves are excluded from the load, so a stale
+// mpwire_gen.go — even one that no longer type-checks after a payload
+// edit — never blocks regeneration.
+func Scan(root string) (*Model, error) {
+	mod, err := lint.LoadModuleSkipping(root, GeneratedFileName)
+	if err != nil {
+		return nil, fmt.Errorf("mpgen: %w", err)
+	}
+	return scanModule(mod)
+}
+
+// ScanDirs is Scan over an explicit package set (lint fixture layout);
+// used by tests.
+func ScanDirs(root string, dirs []string) (*Model, error) {
+	mod, err := lint.LoadDirs(root, dirs)
+	if err != nil {
+		return nil, fmt.Errorf("mpgen: %w", err)
+	}
+	return scanModule(mod)
+}
+
+func scanModule(mod *lint.Module) (*Model, error) {
+	m := &Model{Root: mod.Root, Module: mod.Path}
+
+	// Pass 1: marked payload types, per package.
+	byPath := map[string]*GenPackage{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !mpproto.HasPayloadMarker(gd.Doc) && !mpproto.HasPayloadMarker(ts.Doc) {
+						continue
+					}
+					obj := pkg.Info.Defs[ts.Name]
+					if obj == nil {
+						continue
+					}
+					entry, err := mpproto.TypeEntryFor(ts.Name.Name, pkg.Path, obj.Type())
+					if err != nil {
+						return nil, fmt.Errorf("mpgen: %s: %w", pkg.Path, err)
+					}
+					gp := byPath[pkg.Path]
+					if gp == nil {
+						gp = &GenPackage{Path: pkg.Path, Dir: pkg.Dir, PkgName: pkg.Types.Name()}
+						byPath[pkg.Path] = gp
+						m.Pkgs = append(m.Pkgs, gp)
+					}
+					gp.Types = append(gp.Types, PayloadType{Name: ts.Name.Name, Type: obj.Type(), Entry: entry})
+				}
+			}
+		}
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+
+	// Deterministic wire ids: 1..N over (package, name) order. Id 0 is
+	// the gob fallback.
+	id := uint32(1)
+	for _, gp := range m.Pkgs {
+		sort.Slice(gp.Types, func(i, j int) bool { return gp.Types[i].Name < gp.Types[j].Name })
+		for i := range gp.Types {
+			gp.Types[i].WireID = id
+			gp.Types[i].Entry.WireID = id
+			id++
+		}
+	}
+
+	// Pass 2: tag constants of every package that declares payloads or
+	// protocol tags — the manifest's coverage set.
+	covered := map[string]bool{}
+	for _, gp := range m.Pkgs {
+		covered[gp.Path] = true
+	}
+	var tags []mpproto.TagEntry
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok || !isTagName(name.Name) {
+							continue
+						}
+						basic, ok := c.Type().Underlying().(*types.Basic)
+						if !ok || basic.Info()&types.IsInteger == 0 {
+							continue
+						}
+						v, ok := constValInt(c)
+						if !ok {
+							continue
+						}
+						covered[pkg.Path] = true
+						tags = append(tags, mpproto.TagEntry{
+							Name: name.Name, Package: pkg.Path, Value: v, Reserved: v < 0,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: send/collective sites — tag→payload associations and the
+	// collective census, over the covered packages.
+	mpPath := mod.Path + "/internal/mp"
+	payloads := map[string]map[string]bool{} // "pkg\x00tag" -> type set
+	collectives := map[string]int{}
+	for _, pkg := range mod.Pkgs {
+		if !covered[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != mpPath {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				isMethod := sig != nil && sig.Recv() != nil
+				tagIdx, payloadIdx := -1, -1
+				switch {
+				case isMethod && fn.Name() == "Send":
+					tagIdx, payloadIdx = 1, 2
+				case isMethod && fn.Name() == "Barrier":
+					collectives["Barrier"]++
+				case !isMethod:
+					if ti, ok := collectiveTagArg[fn.Name()]; ok {
+						collectives[fn.Name()]++
+						tagIdx = ti
+						payloadIdx = collectivePayloadArg[fn.Name()]
+					}
+				}
+				if tagIdx < 0 || tagIdx >= len(call.Args) {
+					return true
+				}
+				tag := namedConst(pkg.Info, call.Args[tagIdx])
+				if tag == nil || payloadIdx < 0 || payloadIdx >= len(call.Args) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[payloadIdx]]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+					return true // a relayed any — no static payload identity
+				}
+				key := tag.Pkg().Path() + "\x00" + tag.Name()
+				if payloads[key] == nil {
+					payloads[key] = map[string]bool{}
+				}
+				payloads[key][types.TypeString(types.Default(tv.Type), nil)] = true
+				return true
+			})
+		}
+	}
+	for i := range tags {
+		set := payloads[tags[i].Package+"\x00"+tags[i].Name]
+		for typ := range set {
+			tags[i].Payloads = append(tags[i].Payloads, typ)
+		}
+		sort.Strings(tags[i].Payloads)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].Package != tags[j].Package {
+			return tags[i].Package < tags[j].Package
+		}
+		if tags[i].Value != tags[j].Value {
+			return tags[i].Value < tags[j].Value
+		}
+		return tags[i].Name < tags[j].Name
+	})
+
+	// Assemble the manifest.
+	man := &mpproto.Manifest{Schema: mpproto.SchemaVersion, Module: mod.Path}
+	for p := range covered {
+		man.Packages = append(man.Packages, p)
+	}
+	sort.Strings(man.Packages)
+	man.Types = builtinEntries()
+	for _, gp := range m.Pkgs {
+		for i := range gp.Types {
+			man.Types = append(man.Types, gp.Types[i].Entry)
+		}
+	}
+	sort.Slice(man.Types, func(i, j int) bool {
+		a, b := &man.Types[i], &man.Types[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	man.Tags = tags
+	for name := range collectives {
+		man.Collectives = append(man.Collectives, mpproto.CollectiveEntry{Name: name, Sites: collectives[name]})
+	}
+	sort.Slice(man.Collectives, func(i, j int) bool { return man.Collectives[i].Name < man.Collectives[j].Name })
+	m.Manifest = man
+	return m, nil
+}
+
+// constValInt extracts a constant's integer value.
+func constValInt(c *types.Const) (int, bool) {
+	v := c.Val()
+	if v == nil {
+		return 0, false
+	}
+	i, ok := constantInt64(v)
+	return int(i), ok
+}
+
+// namedConst resolves e to a declared constant object, or nil.
+func namedConst(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := objOf(info, e).(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := objOf(info, e.Sel).(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

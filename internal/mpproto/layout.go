@@ -1,0 +1,248 @@
+package mpproto
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Flat pricing rules. The widths reproduce the hand-written PR-4 batch
+// pricing byte for byte (FakePinBatch 25/element, WireBatch 73/element,
+// Summary 6*8 + 16/row + 24/phase, …): fixed-width scalars price at
+// their encoded width, nested structs flatten recursively, and
+// variable-length fields (strings, slices nested inside a priced
+// element, interfaces) price at the FlatEstimate placeholder — the size
+// of the length-prefixed codec's per-element header (a u32 type id plus
+// a u32 length, or a u32 count plus a u32 length hint).
+const FlatEstimate = 8
+
+// Field kinds.
+const (
+	KindFixed     = "fixed"
+	KindString    = "string"
+	KindSlice     = "slice"
+	KindStruct    = "struct"
+	KindInterface = "interface"
+)
+
+// Type kinds.
+const (
+	TypeSlice   = "slice"
+	TypeStruct  = "struct"
+	TypeBuiltin = "builtin"
+)
+
+// PayloadMarker is the doc-comment directive that opts a type into
+// codec/manifest generation: a line reading exactly "//mp:payload".
+const PayloadMarker = "mp:payload"
+
+// HasPayloadMarker reports whether a declaration's doc comment carries
+// the //mp:payload directive.
+func HasPayloadMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == PayloadMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// qualify renders t fully qualified ("parroute/internal/metrics.Wire").
+func qualify(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// basicWidth returns the encoded width of a basic (or basic-underlying)
+// type, or 0 if the kind is not a fixed-width scalar.
+func basicWidth(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Bool, types.Int8, types.Uint8:
+		return 1
+	case types.Int16, types.Uint16:
+		return 2
+	case types.Int32, types.Uint32, types.Float32:
+		return 4
+	case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr, types.Float64:
+		return 8
+	}
+	return 0
+}
+
+// FlatWidth prices t fully flattened: scalars at their width, structs
+// recursively, strings/slices/interfaces at FlatEstimate.
+func FlatWidth(t types.Type) (int, error) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.String {
+			return FlatEstimate, nil
+		}
+		if w := basicWidth(u); w > 0 {
+			return w, nil
+		}
+		return 0, fmt.Errorf("mpproto: unsupported basic type %s", qualify(t))
+	case *types.Slice:
+		return FlatEstimate, nil
+	case *types.Interface:
+		return FlatEstimate, nil
+	case *types.Struct:
+		n := 0
+		for i := 0; i < u.NumFields(); i++ {
+			w, err := FlatWidth(u.Field(i).Type())
+			if err != nil {
+				return 0, err
+			}
+			n += w
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("mpproto: unsupported type %s (maps, pointers, chans and funcs cannot cross the wire)", qualify(t))
+}
+
+// FieldsOf derives the wire layout of a struct type.
+func FieldsOf(s *types.Struct) ([]FieldEntry, error) {
+	var out []FieldEntry
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		fe, err := fieldOf(f.Name(), f.Type())
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", f.Name(), err)
+		}
+		out = append(out, fe)
+	}
+	return out, nil
+}
+
+func fieldOf(name string, t types.Type) (FieldEntry, error) {
+	fe := FieldEntry{Name: name, Type: qualify(t)}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.String {
+			fe.Kind, fe.Width = KindString, FlatEstimate
+			return fe, nil
+		}
+		if w := basicWidth(u); w > 0 {
+			fe.Kind, fe.Width = KindFixed, w
+			return fe, nil
+		}
+		return fe, fmt.Errorf("mpproto: unsupported basic type %s", qualify(t))
+	case *types.Interface:
+		fe.Kind, fe.Width = KindInterface, FlatEstimate
+		return fe, nil
+	case *types.Slice:
+		fe.Kind, fe.Width = KindSlice, FlatEstimate
+		fe.Elem = qualify(u.Elem())
+		w, err := FlatWidth(u.Elem())
+		if err != nil {
+			return fe, err
+		}
+		fe.ElemWidth = w
+		if es, ok := u.Elem().Underlying().(*types.Struct); ok {
+			fields, err := FieldsOf(es)
+			if err != nil {
+				return fe, err
+			}
+			fe.Fields = fields
+		}
+		return fe, nil
+	case *types.Struct:
+		fe.Kind = KindStruct
+		w, err := FlatWidth(t)
+		if err != nil {
+			return fe, err
+		}
+		fe.Width = w
+		fields, err := FieldsOf(u)
+		if err != nil {
+			return fe, err
+		}
+		fe.Fields = fields
+		return fe, nil
+	}
+	return fe, fmt.Errorf("mpproto: unsupported field type %s", qualify(t))
+}
+
+// TypeEntryFor derives the manifest entry of a marked payload type: a
+// named slice becomes a "slice" entry priced per element, a struct a
+// "struct" entry priced over its fields.
+func TypeEntryFor(name, pkgPath string, t types.Type) (TypeEntry, error) {
+	te := TypeEntry{Name: name, Package: pkgPath}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		te.Kind = TypeSlice
+		te.Elem = qualify(u.Elem())
+		w, err := FlatWidth(u.Elem())
+		if err != nil {
+			return te, fmt.Errorf("mpproto: %s: %w", name, err)
+		}
+		te.FlatWidth = w
+		if es, ok := u.Elem().Underlying().(*types.Struct); ok {
+			fields, err := FieldsOf(es)
+			if err != nil {
+				return te, fmt.Errorf("mpproto: %s: %w", name, err)
+			}
+			te.Fields = fields
+		}
+		return te, nil
+	case *types.Struct:
+		te.Kind = TypeStruct
+		w, err := FlatWidth(t)
+		if err != nil {
+			return te, fmt.Errorf("mpproto: %s: %w", name, err)
+		}
+		te.FlatWidth = w
+		fields, err := FieldsOf(u)
+		if err != nil {
+			return te, fmt.Errorf("mpproto: %s: %w", name, err)
+		}
+		te.Fields = fields
+		return te, nil
+	}
+	return te, fmt.Errorf("mpproto: %s: payload types must be structs or slices, not %s", name, qualify(t))
+}
+
+// DiffLayout compares a type's current layout (want, derived from source)
+// against its manifest entry (got) and returns a description of the first
+// difference, or "" when the layouts match. WireID is excluded: id
+// assignment is mpgen's concern, layout drift is the analyzers'.
+func DiffLayout(want, got *TypeEntry) string {
+	if want.Kind != got.Kind {
+		return fmt.Sprintf("kind is %s in code but %s in manifest", want.Kind, got.Kind)
+	}
+	if want.Elem != got.Elem {
+		return fmt.Sprintf("element type is %s in code but %s in manifest", want.Elem, got.Elem)
+	}
+	if want.FlatWidth != got.FlatWidth {
+		return fmt.Sprintf("flat width is %d in code but %d in manifest", want.FlatWidth, got.FlatWidth)
+	}
+	return diffFields(want.Fields, got.Fields, "")
+}
+
+func diffFields(want, got []FieldEntry, prefix string) string {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Sprintf("field %s%s is missing from the manifest", prefix, want[i].Name)
+		}
+		w, g := &want[i], &got[i]
+		path := prefix + w.Name
+		switch {
+		case w.Name != g.Name:
+			return fmt.Sprintf("field %d is %s in code but %s in manifest", i, path, prefix+g.Name)
+		case w.Type != g.Type:
+			return fmt.Sprintf("field %s has type %s in code but %s in manifest", path, w.Type, g.Type)
+		case w.Kind != g.Kind || w.Width != g.Width || w.Elem != g.Elem || w.ElemWidth != g.ElemWidth:
+			return fmt.Sprintf("field %s has layout %s/%d (elem %s/%d) in code but %s/%d (elem %s/%d) in manifest",
+				path, w.Kind, w.Width, w.Elem, w.ElemWidth, g.Kind, g.Width, g.Elem, g.ElemWidth)
+		}
+		if d := diffFields(w.Fields, g.Fields, path+"."); d != "" {
+			return d
+		}
+	}
+	if len(got) > len(want) {
+		return fmt.Sprintf("field %s%s is in the manifest but not in code", prefix, got[len(want)].Name)
+	}
+	return ""
+}

@@ -1,0 +1,243 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"parroute/internal/circuit"
+	"parroute/internal/geom"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+)
+
+// wirePayload is the common surface of every generated codec, used to
+// drive the round-trip and golden tests generically.
+type wirePayload interface {
+	mp.Sizer
+	AppendWire(buf []byte) ([]byte, error)
+}
+
+// samplePayloads returns one representative value per generated codec,
+// paired with a fresh decoder target. The values exercise every field
+// kind the codecs emit: fixed ints, the Side byte, bools, strings,
+// nested structs (geom.Interval), and doubly nested slices
+// (Summary.Phases[].Counters).
+func samplePayloads() []struct {
+	name   string
+	value  wirePayload
+	decode func(data []byte) (any, []byte, error)
+} {
+	dec := func(p interface {
+		DecodeWire(data []byte) ([]byte, error)
+	}) func(data []byte) (any, []byte, error) {
+		return func(data []byte) (any, []byte, error) {
+			rest, err := p.DecodeWire(data)
+			return reflect.ValueOf(p).Elem().Interface(), rest, err
+		}
+	}
+	return []struct {
+		name   string
+		value  wirePayload
+		decode func(data []byte) (any, []byte, error)
+	}{
+		{"FakePinBatch", FakePinBatch{
+			{Net: 7, X: 120, Row: 3, Side: circuit.Bottom},
+			{Net: 9, X: -4, Row: 0, Side: circuit.Side(1)},
+		}, dec(new(FakePinBatch))},
+		{"CrossingBatch", CrossingBatch{
+			{Net: 1, X: 55, Row: 2},
+			{Net: 2, X: 0, Row: 11},
+			{Net: 3, X: -1, Row: 5},
+		}, dec(new(CrossingBatch))},
+		{"NodeBatch", NodeBatch{
+			{Net: 42, X: 17, Row: 8, Side: circuit.Bottom},
+		}, dec(new(NodeBatch))},
+		{"WireBatch", WireBatch{Wires: []metrics.Wire{
+			{Net: 5, Channel: 2, Span: geom.Interval{Lo: 10, Hi: 90},
+				Switchable: true, Row: 2, AX: 10, ARow: 1, BX: 90, BRow: 3},
+			{Net: 6, Channel: 0, Span: geom.Interval{Lo: -3, Hi: 4},
+				Switchable: false, Row: 0, AX: -3, ARow: 0, BX: 4, BRow: 0},
+		}}, dec(new(WireBatch))},
+		{"Summary", Summary{
+			Rank: 3, InsertedFts: 14, ForcedEdges: 2, SwitchableWs: 9,
+			SwitchFlips: 1, CoarseFlips: 4,
+			RowWidths: []RowWidthMsg{{Row: 0, Width: 480}, {Row: 1, Width: 512}},
+			Phases: []metrics.Phase{
+				{Name: "fake-pins", Elapsed: 120 * time.Microsecond,
+					Counters: []metrics.Counter{{Name: "specs", Value: 12}}},
+				{Name: "connect", Elapsed: time.Millisecond, Counters: nil},
+			},
+		}, dec(new(Summary))},
+	}
+}
+
+// TestWireSizeDifferential pins the generated WireSize methods
+// byte-for-byte to the hand-written flat pricing they replaced, across a
+// range of batch lengths. A layout change that alters pricing must show
+// up here (and in mp_protocol.json) as an explicit diff.
+func TestWireSizeDifferential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		if got, want := make(FakePinBatch, n).WireSize(), n*25; got != want {
+			t.Errorf("FakePinBatch(len %d).WireSize() = %d, want %d", n, got, want)
+		}
+		if got, want := make(CrossingBatch, n).WireSize(), n*24; got != want {
+			t.Errorf("CrossingBatch(len %d).WireSize() = %d, want %d", n, got, want)
+		}
+		if got, want := make(NodeBatch, n).WireSize(), n*25; got != want {
+			t.Errorf("NodeBatch(len %d).WireSize() = %d, want %d", n, got, want)
+		}
+		if got, want := (WireBatch{Wires: make([]metrics.Wire, n)}).WireSize(), n*73; got != want {
+			t.Errorf("WireBatch(%d wires).WireSize() = %d, want %d", n, got, want)
+		}
+		for _, m := range []int{0, 3} {
+			s := Summary{RowWidths: make([]RowWidthMsg, n), Phases: make([]metrics.Phase, m)}
+			if got, want := s.WireSize(), 6*8+n*16+m*24; got != want {
+				t.Errorf("Summary(%d rows, %d phases).WireSize() = %d, want %d", n, m, got, want)
+			}
+		}
+	}
+}
+
+// TestCodecRoundTrip checks encode→decode value equality and
+// decode→re-encode byte identity (the codec is canonical) for every
+// generated codec.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, tc := range samplePayloads() {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := tc.value.AppendWire(nil)
+			if err != nil {
+				t.Fatalf("AppendWire: %v", err)
+			}
+			got, rest, err := tc.decode(enc)
+			if err != nil {
+				t.Fatalf("DecodeWire: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("DecodeWire left %d byte(s)", len(rest))
+			}
+			if !reflect.DeepEqual(got, normalize(tc.value)) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, tc.value)
+			}
+			re, err := got.(wirePayload).AppendWire(nil)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, re) {
+				t.Fatalf("re-encode differs:\n got %x\nwant %x", re, enc)
+			}
+			// The trailing bytes of a longer buffer must come back as rest.
+			withTail := append(append([]byte{}, enc...), 0xAA, 0xBB)
+			_, rest, err = tc.decode(withTail)
+			if err != nil || !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+				t.Fatalf("tail not preserved: rest=%x err=%v", rest, err)
+			}
+		})
+	}
+}
+
+// normalize maps nil slices to the empty slices decode produces, so
+// DeepEqual compares shape rather than nil-ness.
+func normalize(v wirePayload) any {
+	switch p := v.(type) {
+	case Summary:
+		if p.RowWidths == nil {
+			p.RowWidths = []RowWidthMsg{}
+		}
+		if p.Phases == nil {
+			p.Phases = []metrics.Phase{}
+		}
+		for i := range p.Phases {
+			if p.Phases[i].Counters == nil {
+				p.Phases[i].Counters = []metrics.Counter{}
+			}
+		}
+		return p
+	}
+	return v
+}
+
+// TestCodecTruncation feeds every strict prefix of each encoding to the
+// decoder: all must fail with mp.ErrWire, none may panic.
+func TestCodecTruncation(t *testing.T) {
+	for _, tc := range samplePayloads() {
+		enc, err := tc.value.AppendWire(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(enc); n++ {
+			if _, _, err := tc.decode(enc[:n]); err == nil {
+				t.Fatalf("%s: decoding %d/%d bytes succeeded", tc.name, n, len(enc))
+			}
+		}
+	}
+}
+
+// TestWireGolden pins each sample encoding to a checked-in golden file
+// (hex, testdata/wire). UPDATE_GOLDEN=1 regenerates. The files double as
+// the fuzz seed corpus (see FuzzCodec), so a codec change shows up both
+// as a golden diff and as fresh fuzz seeds.
+func TestWireGolden(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for i, tc := range samplePayloads() {
+		enc, err := tc.value.AppendWire(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", "wire", fmt.Sprintf("%s.hex", tc.name))
+		got := []byte(hex.EncodeToString(enc) + "\n")
+		if update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1): %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("codec %d (%s) drifted from golden %s:\n got %s want %s",
+				i, tc.name, path, got, want)
+		}
+	}
+}
+
+// FuzzCodec is the canonical-encoding fuzz gate: any byte string the
+// decoders accept must re-encode to exactly the bytes consumed
+// (decode→encode identity), and the sample encodings must round-trip
+// (encode→decode→re-encode identity, seeded from the golden corpus).
+func FuzzCodec(f *testing.F) {
+	for i, tc := range samplePayloads() {
+		enc, err := tc.value.AppendWire(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint8(i), enc)
+	}
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		decoders := samplePayloads()
+		tc := decoders[int(sel)%len(decoders)]
+		v, rest, err := tc.decode(data)
+		if err != nil {
+			return // malformed input is fine; panics and false accepts are not
+		}
+		consumed := data[:len(data)-len(rest)]
+		re, err := v.(wirePayload).AppendWire(nil)
+		if err != nil {
+			t.Fatalf("%s: decoded value failed to re-encode: %v", tc.name, err)
+		}
+		if !bytes.Equal(consumed, re) {
+			t.Fatalf("%s: decode/encode not canonical:\nconsumed %x\nre-enc   %x",
+				tc.name, consumed, re)
+		}
+	})
+}

@@ -1,9 +1,10 @@
 package parallel
 
+//go:generate go run parroute/cmd/mpgen
+
 import (
 	"parroute/internal/circuit"
 	"parroute/internal/metrics"
-	"parroute/internal/mp"
 )
 
 // Message tags. Every protocol phase uses its own tag so streams between
@@ -25,6 +26,12 @@ const (
 	tagSwitchVote
 )
 
+// The payload types below carry the //mp:payload directive: cmd/mpgen
+// derives their flat codecs, WireSize pricing (see mp.Sizer), and
+// registration glue into mpwire_gen.go, and records their field layout
+// in mp_protocol.json for the manifest-drift lint gate. After changing
+// any of them, run `go generate ./...` and commit the regenerated files.
+
 // FakePinSpec asks a block worker to add a fake pin for a net at a
 // partition boundary: the crossing point of a Steiner segment (paper §4,
 // Figure 2).
@@ -36,12 +43,11 @@ type FakePinSpec struct {
 }
 
 // FakePinBatch is the slice form FakePinSpecs travel in. The named type
-// carries the WireSize fast path (see mp.Sizer) so the Virtual engine
-// prices sync rounds without encoding each batch.
+// carries the generated WireSize fast path (see mp.Sizer) so the Virtual
+// engine prices sync rounds without encoding each batch.
+//
+//mp:payload
 type FakePinBatch []FakePinSpec
-
-// WireSize prices each spec at its flat field width (3 ints + side byte).
-func (b FakePinBatch) WireSize() int { return len(b) * 25 }
 
 // CrossingMsg tells a row owner that a segment of Net crosses Row at
 // column X and needs a feedthrough there (net-wise algorithm, step 3).
@@ -52,18 +58,9 @@ type CrossingMsg struct {
 }
 
 // CrossingBatch is the slice form CrossingMsgs travel in; see FakePinBatch.
+//
+//mp:payload
 type CrossingBatch []CrossingMsg
-
-// WireSize prices each crossing at its flat field width (3 ints).
-func (b CrossingBatch) WireSize() int { return len(b) * 24 }
-
-// FtNodeMsg returns an assigned feedthrough to a net owner: a step-4 node
-// at (X, Row) reachable from both adjacent channels.
-type FtNodeMsg struct {
-	Net int
-	X   int
-	Row int
-}
 
 // NodeMsg contributes a connection node (a real pin or an assigned
 // feedthrough, with authoritative post-insertion coordinates) of Net to
@@ -76,20 +73,17 @@ type NodeMsg struct {
 }
 
 // NodeBatch is the slice form NodeMsgs travel in; see FakePinBatch.
+//
+//mp:payload
 type NodeBatch []NodeMsg
-
-// WireSize prices each node at its flat field width (3 ints + side byte).
-func (b NodeBatch) WireSize() int { return len(b) * 25 }
 
 // WireBatch carries final wires from a worker to rank 0 (or between
 // workers when redistributing by channel owner).
+//
+//mp:payload
 type WireBatch struct {
 	Wires []metrics.Wire
 }
-
-// WireSize prices each wire at its flat field width (9 ints + flag byte);
-// see FakePinBatch.
-func (b WireBatch) WireSize() int { return len(b.Wires) * 73 }
 
 // RowWidthMsg reports the post-insertion width of one owned row.
 type RowWidthMsg struct {
@@ -98,6 +92,8 @@ type RowWidthMsg struct {
 }
 
 // Summary carries a worker's counters to rank 0 for the merged result.
+//
+//mp:payload
 type Summary struct {
 	Rank         int
 	InsertedFts  int
@@ -109,25 +105,4 @@ type Summary struct {
 	// Phases records the worker's wall time per pipeline phase (compute
 	// only; communication waits excluded under the Virtual engine).
 	Phases []metrics.Phase
-}
-
-// WireSize prices the fixed counters plus the variable-length tails; see
-// FakePinBatch.
-func (s Summary) WireSize() int {
-	return 6*8 + len(s.RowWidths)*16 + len(s.Phases)*24
-}
-
-func init() {
-	// Register every payload type so the TCP engine (and the Virtual
-	// engine's size accounting) can gob-encode them.
-	mp.RegisterPayload(FakePinBatch{})
-	mp.RegisterPayload(CrossingBatch{})
-	mp.RegisterPayload([]FtNodeMsg{})
-	mp.RegisterPayload(NodeBatch{})
-	mp.RegisterPayload(WireBatch{})
-	mp.RegisterPayload(Summary{})
-	mp.RegisterPayload([]int32{})
-	mp.RegisterPayload([]any{})
-	mp.RegisterPayload(0)
-	mp.RegisterPayload(true)
 }

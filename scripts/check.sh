@@ -26,8 +26,24 @@ step() {
 
 step "go build ./..." go build ./...
 step "go vet ./..." go vet ./...
+
+# Protocol drift gate: the committed mpwire_gen.go codecs and the
+# mp_protocol.json manifest must match what mpgen would emit from the
+# current //mp:payload types (see DESIGN.md §11). A failure here means a
+# payload struct or tag constant changed without `go generate ./...`.
+step "mpgen -check (generated protocol current)" go run ./cmd/mpgen -check
+
 step "parroutecheck ./..." go run ./cmd/parroutecheck ./...
 step "go test -race ./..." go test -race ./...
+
+# Codec fuzz smoke: the generated wire codecs must decode whatever they
+# encode and re-encode it byte-identically (the canonical-encoding
+# invariant the manifest prices depend on), under the race detector.
+fuzz_smoke() {
+  go test -race -run '^$' -fuzz '^FuzzCodec$' -fuzztime 3s ./internal/parallel &&
+    go test -race -run '^$' -fuzz '^FuzzAnyCodec$' -fuzztime 3s ./internal/mp
+}
+step "codec fuzz smoke" fuzz_smoke
 
 # Chaos tier: the fault-injection soak (drop/delay/dup/reorder plans must
 # leave routing metrics byte-identical; crashes must degrade, not hang)
