@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	parroutecheck [-json] [-list] [packages]
+//	parroutecheck [-json] [-list] [-analyzer name[,name]] [-timings] [packages]
 //
 // With no arguments or "./..." it checks every package of the module
 // containing the working directory. Explicit package directories (for
@@ -14,6 +14,12 @@
 // -list prints the registered rules with their one-line docs and exits.
 // -json emits diagnostics as a JSON array on stdout (empty array when
 // clean) for CI and editor integration; -list also honors it.
+// -analyzer restricts the run to a comma-separated subset of rules, for
+// bisecting a slow or noisy analyzer; filtered runs skip the
+// stale-suppression audit. -timings prints per-analyzer wall time to
+// stderr, slowest first, which scripts/check.sh uses for the lint-gate
+// runtime budget. The driver-level rules lint-directive and stale-allow
+// are not listed: they run with every full suite.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 when the
 // module could not be loaded or type-checked.
@@ -24,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"parroute/internal/lint"
 )
@@ -31,8 +40,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	listRules := flag.Bool("list", false, "print the registered rules and exit")
+	analyzerFlag := flag.String("analyzer", "", "run only the named analyzers (comma separated)")
+	timings := flag.Bool("timings", false, "print per-analyzer wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parroutecheck [-json] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: parroutecheck [-json] [-list] [-analyzer name[,name]] [-timings] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Checks the module (./...) or explicit package directories.\nRules:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-22s %s\n", a.Name, a.Doc)
@@ -42,7 +53,7 @@ func main() {
 	if *listRules {
 		os.Exit(list(*jsonOut))
 	}
-	os.Exit(run(flag.Args(), *jsonOut))
+	os.Exit(run(flag.Args(), *jsonOut, splitAnalyzers(*analyzerFlag), *timings))
 }
 
 // ruleInfo is the -list -json record for one analyzer.
@@ -66,7 +77,21 @@ func list(jsonOut bool) int {
 	return 0
 }
 
-func run(args []string, jsonOut bool) int {
+// splitAnalyzers parses the -analyzer value into names.
+func splitAnalyzers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func run(args []string, jsonOut bool, analyzers []string, timings bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
@@ -83,14 +108,30 @@ func run(args []string, jsonOut bool) int {
 	}
 
 	var diags []lint.Diagnostic
+	elapsed := map[string]time.Duration{}
 	cfg := lint.DefaultConfig()
+	opts := lint.RunOptions{Analyzers: analyzers}
+	check := func(mod *lint.Module) int {
+		got, times, err := lint.RunSuite(mod, cfg, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
+			return 2
+		}
+		diags = append(diags, got...)
+		for _, tm := range times {
+			elapsed[tm.Name] += tm.Elapsed
+		}
+		return 0
+	}
 	if wholeModule {
 		mod, err := lint.LoadModule(cwd)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
 			return 2
 		}
-		diags = append(diags, lint.Run(mod, cfg)...)
+		if rc := check(mod); rc != 0 {
+			return rc
+		}
 	}
 	if len(dirs) > 0 {
 		mod, err := lint.LoadDirs(cwd, dirs)
@@ -98,7 +139,12 @@ func run(args []string, jsonOut bool) int {
 			fmt.Fprintf(os.Stderr, "parroutecheck: %v\n", err)
 			return 2
 		}
-		diags = append(diags, lint.Run(mod, cfg)...)
+		if rc := check(mod); rc != 0 {
+			return rc
+		}
+	}
+	if timings {
+		printTimings(elapsed)
 	}
 	if jsonOut {
 		if diags == nil {
@@ -117,6 +163,25 @@ func run(args []string, jsonOut bool) int {
 		return 1
 	}
 	return 0
+}
+
+// printTimings reports per-analyzer wall time to stderr, slowest first,
+// summed across the module and explicit-directory runs.
+func printTimings(elapsed map[string]time.Duration) {
+	names := make([]string, 0, len(elapsed))
+	for name := range elapsed {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if elapsed[names[i]] != elapsed[names[j]] {
+			return elapsed[names[i]] > elapsed[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(os.Stderr, "parroutecheck: analyzer timings:\n")
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-22s %v\n", name, elapsed[name].Round(time.Microsecond))
+	}
 }
 
 // emitJSON writes v indented to stdout.

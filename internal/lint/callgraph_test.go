@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+// The tests below pin the lifecycle index on testdata/src/callgraph, a
+// synthetic package with one construct per propagation rule: mutual
+// recursion, method values, function-typed fields, deferred call edges,
+// and parameter-channel translation.
+
+// loadLifecycleIndex loads one testdata package and builds its index.
+func loadLifecycleIndex(t *testing.T, dir string) *lifeIndex {
+	t.Helper()
+	mod, err := LoadDirs(".", []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.lifecycleIndex()
+}
+
+// findLifeFunc returns the index record of the named function.
+func findLifeFunc(t *testing.T, ix *lifeIndex, name string) *lifeFunc {
+	t.Helper()
+	for fn, lf := range ix.funcs {
+		if fn.Name() == name {
+			return lf
+		}
+	}
+	t.Fatalf("function %s not in index", name)
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	ix := loadLifecycleIndex(t, "testdata/src/callgraph")
+
+	ping := findLifeFunc(t, ix, "Ping")
+	if len(ping.sites) != 1 || ping.sites[0].callee.Name() != "Pong" {
+		t.Errorf("Ping sites = %v, want exactly one call to Pong", ping.sites)
+	}
+	grab := findLifeFunc(t, ix, "Grab")
+	if len(grab.refs) != 1 || grab.refs[0].Name() != "drain" {
+		t.Errorf("Grab refs = %v, want exactly the drain method value", grab.refs)
+	}
+	if len(grab.sites) != 0 {
+		t.Errorf("Grab sites = %v, want none: a method value is a reference, not a call", grab.sites)
+	}
+	invoke := findLifeFunc(t, ix, "Invoke")
+	if len(invoke.sites) != 0 || len(invoke.refs) != 0 {
+		t.Errorf("Invoke sites=%v refs=%v, want none: a function-typed field has no static callee", invoke.sites, invoke.refs)
+	}
+	task := findLifeFunc(t, ix, "Task")
+	if len(task.sites) != 1 || task.sites[0].callee.Name() != "finish" {
+		t.Errorf("Task sites = %v, want the deferred call to finish", task.sites)
+	}
+}
+
+func TestFixpointMutualRecursion(t *testing.T) {
+	ix := loadLifecycleIndex(t, "testdata/src/callgraph")
+	for _, name := range []string{"Ping", "Pong"} {
+		s := findLifeFunc(t, ix, name).summary
+		if !s.observesCtx {
+			t.Errorf("%s.observesCtx = false, want the ctx signal to survive the Ping/Pong cycle", name)
+		}
+		if s.blocks {
+			t.Errorf("%s.blocks = true, want false: neither body blocks", name)
+		}
+	}
+}
+
+func TestReferencePropagation(t *testing.T) {
+	ix := loadLifecycleIndex(t, "testdata/src/callgraph")
+
+	handOff := findLifeFunc(t, ix, "HandOff").summary
+	if !handOff.observesCtx {
+		t.Error("HandOff.observesCtx = false, want the signal to cross the waitDone reference")
+	}
+	if handOff.blocks {
+		t.Error("HandOff.blocks = true, want false: referencing waitDone blocks nothing")
+	}
+
+	drain := findLifeFunc(t, ix, "drain").summary
+	if !drain.hasLoop || !drain.blocks || len(drain.recvObjs) != 1 {
+		t.Errorf("drain summary = %+v, want hasLoop, blocks, and one recvObj (the ch field)", drain)
+	}
+	grab := findLifeFunc(t, ix, "Grab").summary
+	if grab.hasLoop || grab.blocks {
+		t.Errorf("Grab summary = %+v, want neither hasLoop nor blocks to cross the reference", grab)
+	}
+}
+
+func TestRecvParamTranslation(t *testing.T) {
+	ix := loadLifecycleIndex(t, "testdata/src/callgraph")
+
+	blocky := findLifeFunc(t, ix, "Blocky").summary
+	if !blocky.recvParams[0] {
+		t.Errorf("Blocky.recvParams = %v, want the receive recorded on parameter 0", blocky.recvParams)
+	}
+	caller := findLifeFunc(t, ix, "Caller").summary
+	if !caller.recvParams[0] {
+		t.Errorf("Caller.recvParams = %v, want Blocky's receive translated onto Caller's own parameter", caller.recvParams)
+	}
+	if !caller.blocks || caller.blockDesc != "a call to Blocky, which blocks on a channel receive" {
+		t.Errorf("Caller blocking = (%v, %q), want the chained description through Blocky", caller.blocks, caller.blockDesc)
+	}
+}
+
+func TestDeferredCallEdgeCarriesJoin(t *testing.T) {
+	ix := loadLifecycleIndex(t, "testdata/src/callgraph")
+	task := findLifeFunc(t, ix, "Task").summary
+	if !task.wgDone {
+		t.Error("Task.wgDone = false, want the Done signal to survive the deferred call to finish")
+	}
+}

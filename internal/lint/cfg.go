@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 )
 
 // This file builds the lightweight control-flow graphs the mpproto
@@ -38,6 +39,17 @@ type Block struct {
 	Preds []*Block
 	// IsLoopHead marks loop header blocks (the target of a back edge).
 	IsLoopHead bool
+	// Select is set on the dispatch block of a select statement: each
+	// communication clause is one successor, a default clause (if any) is
+	// a further successor, and a clause-less `select {}` has no
+	// successors at all. Whether the dispatch can block is a property of
+	// this block (no default clause), not of the clause blocks.
+	Select *ast.SelectStmt
+	// IsSelectClause marks a clause body block whose first statement is
+	// the clause's communication operation. That statement is the chosen
+	// (already unblocked) case, so clients deciding blockingness must
+	// look at the dispatch block's Select, not at the comm statement.
+	IsSelectClause bool
 }
 
 // CFG is the control-flow graph of one function body. Entry is the first
@@ -52,16 +64,41 @@ type CFG struct {
 // cfgBuilder carries the construction state.
 type cfgBuilder struct {
 	g *CFG
-	// breakTo / continueTo are the innermost targets for unlabeled (and,
-	// approximately, labeled) break/continue statements.
+	// breakTo / continueTo are the innermost targets for unlabeled
+	// break/continue statements.
 	breakTo    []*Block
 	continueTo []*Block
+	// labels maps a label name to its targets: the labeled statement's
+	// entry block (for goto) plus, when the labeled statement is a
+	// loop/switch/select, the break and continue destinations.
+	labels map[string]*labelTarget
+	// pendingLabel carries a just-seen label into the construct it names,
+	// so that construct can register its break/continue targets. stmt()
+	// consumes it immediately, which keeps a label from leaking onto a
+	// statement nested deeper than the labeled one.
+	pendingLabel string
+	// gotos are forward gotos whose label has not been declared yet; they
+	// are patched with a forward edge once the whole body is built. Go's
+	// scoping rules (a goto may not jump into a block) guarantee the
+	// patched edge cannot create a forward cycle.
+	gotos []pendingGoto
+}
+
+type labelTarget struct {
+	entry *Block // first block of the labeled statement (goto target)
+	brk   *Block // labeled-break destination, nil unless loop/switch/select
+	cont  *Block // labeled-continue destination, nil unless loop
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
 }
 
 // BuildCFG constructs the CFG of body. A nil body (declared-only
 // function) yields a two-block graph with Entry wired to Exit.
 func BuildCFG(body *ast.BlockStmt) *CFG {
-	b := &cfgBuilder{g: &CFG{}}
+	b := &cfgBuilder{g: &CFG{}, labels: make(map[string]*labelTarget)}
 	b.g.Entry = b.newBlock()
 	b.g.Exit = b.newBlock()
 	last := b.g.Entry
@@ -69,6 +106,14 @@ func BuildCFG(body *ast.BlockStmt) *CFG {
 		last = b.stmtList(body.List, b.g.Entry)
 	}
 	b.edge(last, b.g.Exit)
+	for _, pg := range b.gotos {
+		if lt := b.labels[pg.label]; lt != nil {
+			b.edge(pg.from, lt.entry)
+		} else {
+			// Undeclared label cannot type-check; degrade to a terminator.
+			b.edge(pg.from, b.g.Exit)
+		}
+	}
 	return b.g
 }
 
@@ -110,6 +155,12 @@ func (b *cfgBuilder) stmtList(stmts []ast.Stmt, cur *Block) *Block {
 }
 
 func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	// Consume the pending label here so only the directly-labeled
+	// statement sees it; the loop/switch/select cases below register
+	// their break/continue targets under it.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
 	switch s := s.(type) {
 	case *ast.BlockStmt:
 		return b.stmtList(s.List, cur)
@@ -150,6 +201,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		}
 		body := b.newBlock()
 		b.edge(head, body)
+		b.setLabelTargets(label, exit, head)
 		b.pushLoop(exit, head)
 		bodyEnd := b.stmtList(s.Body.List, body)
 		b.popLoop()
@@ -175,6 +227,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		b.edge(head, exit)
 		body := b.newBlock()
 		b.edge(head, body)
+		b.setLabelTargets(label, exit, head)
 		b.pushLoop(exit, head)
 		bodyEnd := b.stmtList(s.Body.List, body)
 		b.popLoop()
@@ -182,7 +235,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		return exit
 
 	case *ast.SwitchStmt:
-		return b.switchStmt(cur, s.Init, s.Tag, s.Body)
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body, label)
 
 	case *ast.TypeSwitchStmt:
 		var tag ast.Expr
@@ -191,13 +244,20 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
 			tag = es.X
 		}
-		return b.switchStmt(cur, s.Init, tag, s.Body)
+		return b.switchStmt(cur, s.Init, tag, s.Body, label)
 
 	case *ast.SelectStmt:
+		cur.Select = s
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever: a terminator with no successors.
+			return nil
+		}
 		join := b.newBlock()
+		b.setLabelTargets(label, join, nil)
 		for _, clause := range s.Body.List {
 			cc := clause.(*ast.CommClause)
 			caseB := b.newBlock()
+			caseB.IsSelectClause = cc.Comm != nil
 			b.edge(cur, caseB)
 			if cc.Comm != nil {
 				caseB.Stmts = append(caseB.Stmts, cc.Comm)
@@ -206,9 +266,6 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 			end := b.stmtList(cc.Body, caseB)
 			b.popBreak()
 			b.edge(end, join)
-		}
-		if len(s.Body.List) == 0 {
-			b.edge(cur, join)
 		}
 		if len(join.Preds) == 0 {
 			return nil
@@ -221,21 +278,43 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		return nil
 
 	case *ast.BranchStmt:
-		switch s.Tok.String() {
-		case "break":
-			if t := b.topBreak(); t != nil {
+		switch s.Tok {
+		case token.BREAK:
+			t := b.topBreak()
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					t = lt.brk
+				}
+			}
+			if t != nil {
 				b.edge(cur, t)
 				return nil
 			}
-		case "continue":
-			if t := b.topContinue(); t != nil {
+		case token.CONTINUE:
+			t := b.topContinue()
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					t = lt.cont
+				}
+			}
+			if t != nil {
 				b.backEdge(cur, t)
 				return nil
 			}
-		case "goto":
-			// Rare in this codebase; approximate as a terminator.
-			b.edge(cur, b.g.Exit)
-			return nil
+		case token.GOTO:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					// The label is already declared, so this jumps backward:
+					// record it as a loop back edge so forward walks stay
+					// acyclic.
+					b.backEdge(cur, lt.entry)
+				} else {
+					// Forward goto; patched with a forward edge in BuildCFG
+					// once the label's entry block exists.
+					b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+				}
+				return nil
+			}
 		}
 		// fallthrough token: control continues into the next case, which
 		// the switch builder has already wired to the join; treat as a
@@ -243,7 +322,16 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 		return cur
 
 	case *ast.LabeledStmt:
-		return b.stmt(s.Stmt, cur)
+		// Give the labeled statement its own entry block so goto has a
+		// stable target, then let the statement itself claim break and
+		// continue destinations via pendingLabel.
+		entry := b.newBlock()
+		b.edge(cur, entry)
+		b.labels[s.Label.Name] = &labelTarget{entry: entry}
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, entry)
+		b.pendingLabel = ""
+		return out
 
 	default:
 		// Assignments, declarations, expression statements, go, defer,
@@ -255,12 +343,13 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
 
 // switchStmt wires an (expression or type) switch: cur fans out to every
 // case body, plus straight to the join when there is no default clause.
-func (b *cfgBuilder) switchStmt(cur *Block, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) *Block {
+func (b *cfgBuilder) switchStmt(cur *Block, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) *Block {
 	if init != nil {
 		cur.Stmts = append(cur.Stmts, init)
 	}
 	cur.Cond = tag
 	join := b.newBlock()
+	b.setLabelTargets(label, join, nil)
 	hasDefault := false
 	for _, clause := range body.List {
 		cc, ok := clause.(*ast.CaseClause)
@@ -298,6 +387,17 @@ func rangeAssign(s *ast.RangeStmt) ast.Stmt {
 		lhs = append(lhs, s.Value)
 	}
 	return &ast.AssignStmt{Lhs: lhs, Tok: s.Tok, Rhs: []ast.Expr{s.X}}
+}
+
+// setLabelTargets records the break (and, for loops, continue)
+// destinations of the labeled construct currently being built.
+func (b *cfgBuilder) setLabelTargets(label string, brk, cont *Block) {
+	if label == "" {
+		return
+	}
+	if lt := b.labels[label]; lt != nil {
+		lt.brk, lt.cont = brk, cont
+	}
 }
 
 func (b *cfgBuilder) pushLoop(brk, cont *Block) {

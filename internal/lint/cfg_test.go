@@ -247,3 +247,169 @@ func TestBuildCFGInfiniteLoopNoBreak(t *testing.T) {
 		t.Errorf("for{} without break: Exit has %d preds, want 0", len(g.Exit.Preds))
 	}
 }
+
+func TestBuildCFGSelectDispatch(t *testing.T) {
+	g := BuildCFG(parseBody(t, `func f(a, b chan int) int {
+	x := 0
+	select {
+	case v := <-a:
+		x = v
+	case b <- 1:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}`))
+	assertForwardAcyclic(t, g)
+	var dispatch *Block
+	for _, blk := range g.Blocks {
+		if blk.Select != nil {
+			dispatch = blk
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("no block carries the SelectStmt")
+	}
+	// One successor per clause, including the default clause.
+	if len(dispatch.Succs) != 3 {
+		t.Fatalf("select dispatch has %d succs, want 3", len(dispatch.Succs))
+	}
+	comm := 0
+	for _, s := range dispatch.Succs {
+		if s.IsSelectClause {
+			comm++
+			if len(s.Stmts) == 0 {
+				t.Error("comm clause block does not start with its comm statement")
+			}
+		}
+	}
+	if comm != 2 {
+		t.Fatalf("%d comm clause successors, want 2 (default is not a comm clause)", comm)
+	}
+	if !forwardReaches(dispatch, g.Exit) {
+		t.Error("select with default must reach Exit")
+	}
+}
+
+func TestBuildCFGEmptySelectTerminates(t *testing.T) {
+	g := BuildCFG(parseBody(t, `func f() {
+	select {}
+}`))
+	assertForwardAcyclic(t, g)
+	var dispatch *Block
+	for _, blk := range g.Blocks {
+		if blk.Select != nil {
+			dispatch = blk
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("no block carries the SelectStmt")
+	}
+	// `select {}` blocks forever: no successors, Exit unreachable.
+	if len(dispatch.Succs) != 0 {
+		t.Fatalf("select{} dispatch has %d succs, want 0", len(dispatch.Succs))
+	}
+	if len(g.Exit.Preds) != 0 {
+		t.Errorf("select{}: Exit has %d preds, want 0", len(g.Exit.Preds))
+	}
+}
+
+func TestBuildCFGLabeledBreakContinue(t *testing.T) {
+	g := BuildCFG(parseBody(t, `func f(rows [][]int) int {
+	s := 0
+Outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue Outer
+			}
+			if v == 99 {
+				break Outer
+			}
+			s += v
+		}
+	}
+	return s
+}`))
+	assertForwardAcyclic(t, g)
+	var outer, inner *Block
+	for _, blk := range g.Blocks {
+		if blk.IsLoopHead {
+			if outer == nil {
+				outer = blk
+			} else {
+				inner = blk
+			}
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("expected two loop heads")
+	}
+	// `continue Outer` must target the outer head as a back edge: some
+	// block inside the inner loop carries a Back edge to the outer head.
+	foundCont := false
+	for _, blk := range g.Blocks {
+		for _, bk := range blk.Back {
+			if bk == outer && blk != inner && !forwardReaches(blk, inner) {
+				foundCont = true
+			}
+		}
+	}
+	if !foundCont {
+		t.Error("continue Outer not wired as a back edge to the outer loop head")
+	}
+	// `break Outer` must skip the inner loop's exit and still reach Exit.
+	if !forwardReaches(g.Entry, g.Exit) {
+		t.Error("break Outer: Exit unreachable")
+	}
+}
+
+func TestBuildCFGGoto(t *testing.T) {
+	// Backward goto: must be recorded as a back edge so forward walks
+	// terminate; the jump target becomes a loop head.
+	g := BuildCFG(parseBody(t, `func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`))
+	assertForwardAcyclic(t, g)
+	heads := 0
+	for _, blk := range g.Blocks {
+		if blk.IsLoopHead {
+			heads++
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("backward goto: %d loop heads, want 1", heads)
+	}
+	if !forwardReaches(g.Entry, g.Exit) {
+		t.Error("backward goto: Exit unreachable forward")
+	}
+
+	// Forward goto: a plain forward edge to the label, so code between
+	// the goto and the label is skipped on that path but Exit stays
+	// reachable, and the graph stays acyclic.
+	g = BuildCFG(parseBody(t, `func f(fail bool) int {
+	x := 1
+	if fail {
+		goto done
+	}
+	x = 2
+done:
+	return x
+}`))
+	assertForwardAcyclic(t, g)
+	for _, blk := range g.Blocks {
+		if blk.IsLoopHead {
+			t.Fatal("forward goto must not create a loop head")
+		}
+	}
+	if !forwardReaches(g.Entry, g.Exit) {
+		t.Error("forward goto: Exit unreachable")
+	}
+}

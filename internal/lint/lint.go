@@ -22,7 +22,6 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -103,7 +102,11 @@ func DefaultConfig() *Config {
 			// read here, and observers cannot affect routing output.
 			"parroute/internal/pipeline",
 		},
-		TimeAllowedFiles: nil,
+		TimeAllowedFiles: []string{
+			// The suite's own -timings stopwatch; analyzer wall time is
+			// operator telemetry, never a routing input.
+			"internal/lint/run.go",
+		},
 	}
 }
 
@@ -153,34 +156,10 @@ func Analyzers() []*Analyzer {
 		analyzerManifestDrift,
 		analyzerSortOrder,
 		analyzerCtxRule,
+		analyzerGoroutineLifecycle,
+		analyzerLockAcrossBlocking,
+		analyzerUnboundedSpawn,
 	}
-}
-
-// Run executes every analyzer over every package of mod, applies
-// //lint:allow suppressions, and returns the surviving diagnostics sorted
-// by position.
-func Run(mod *Module, cfg *Config) []Diagnostic {
-	var raw []Diagnostic
-	for _, pkg := range mod.Pkgs {
-		for _, a := range Analyzers() {
-			a.Run(&Pass{Cfg: cfg, Mod: mod, Pkg: pkg, rule: a.Name, out: &raw})
-		}
-	}
-	diags := applyAllows(mod, raw)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Rule < b.Rule
-	})
-	return diags
 }
 
 // relFile returns f's filename relative to the module root.

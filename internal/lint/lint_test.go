@@ -87,6 +87,60 @@ func TestMalformedAllowDirective(t *testing.T) {
 	}
 }
 
+// TestStaleAllowAudit pins the audit's two messages — a healed known
+// rule and an unknown rule name — and proves the escape hatch keeps the
+// deliberately retained directive quiet (the fixture's third directive
+// produces no line below).
+func TestStaleAllowAudit(t *testing.T) {
+	diags := loadFixture(t, "testdata/src/staleallow")
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	want, err := os.ReadFile("testdata/staleallow.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("diagnostics diverge from testdata/staleallow.golden:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestFilteredRunSkipsStaleAudit: a -analyzer run exercises only part of
+// the registry, so directives for the other rules must not be reported
+// as stale — the audit runs only with the full suite.
+func TestFilteredRunSkipsStaleAudit(t *testing.T) {
+	mod, err := lint.LoadDirs(".", []string{"testdata/src/staleallow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lint.RunOptions{Analyzers: []string{"panic-in-library"}}
+	diags, timings, err := lint.RunSuite(mod, lint.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("filtered run reported %s", d)
+	}
+	if len(timings) != 1 || timings[0].Name != "panic-in-library" {
+		t.Errorf("timings = %v, want exactly one entry for panic-in-library", timings)
+	}
+}
+
+// TestRunSuiteUnknownAnalyzer: a typoed -analyzer name is an error, not
+// a silently empty run.
+func TestRunSuiteUnknownAnalyzer(t *testing.T) {
+	mod, err := lint.LoadDirs(".", []string{"testdata/src/fixture"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lint.RunOptions{Analyzers: []string{"no-such-rule"}}
+	if _, _, err := lint.RunSuite(mod, lint.DefaultConfig(), opts); err == nil || !strings.Contains(err.Error(), "no-such-rule") {
+		t.Errorf("RunSuite error = %v, want it to name no-such-rule", err)
+	}
+}
+
 // TestModuleIsClean mirrors the repo-root gate from inside the package,
 // so `go test ./internal/lint` alone proves the tree is lint-clean.
 func TestModuleIsClean(t *testing.T) {

@@ -30,6 +30,10 @@ type Module struct {
 	// proto is the lazily built module-wide protocol index shared by the
 	// mpproto analyzers; see protocolIndex in mpproto.go.
 	proto *protoIndex
+	// life is the lazily built module-wide concurrency-lifecycle index
+	// shared by the goroutine/lock/spawn analyzers; see lifecycleIndex in
+	// callgraph.go.
+	life *lifeIndex
 	// manifests caches protocol-manifest lookups by file path; see
 	// manifestFor in manifest.go.
 	manifests map[string]*manifestEntry

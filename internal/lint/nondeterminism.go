@@ -10,8 +10,9 @@ import (
 //
 //   - math/rand (and v2) must never be imported — all randomness flows
 //     through internal/rng so streams are seeded and splittable.
-//   - time.Now and time.Since are reserved for measurement infrastructure
-//     (Config.TimeAllowed*); a wall-clock read anywhere else can leak into
+//   - time.Now, time.Since, and time.Until are reserved for measurement
+//     infrastructure (Config.TimeAllowed*); a wall-clock read anywhere
+//     else can leak into
 //     a routing decision and break run-to-run reproducibility.
 //   - inside the deterministic packages, iterating a map while appending
 //     to an outer slice publishes Go's randomized map order into routing
@@ -63,7 +64,7 @@ func checkWallClock(p *Pass, f *ast.File, rel string) {
 		if pkgQualifier(p.Pkg.Info, sel.X) != "time" {
 			return true
 		}
-		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until" {
 			p.Reportf(call.Pos(), "time.%s outside the timing allowlist: wall-clock reads must not feed routing decisions", sel.Sel.Name)
 		}
 		return true

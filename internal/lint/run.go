@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The suite driver. RunSuite is the full entry point — analyzer
+// filtering for bisection, per-analyzer wall time for the CI runtime
+// budget — and Run is the everything-on convenience the gate tests use.
+//
+// This file is on Config.TimeAllowedFiles: the stopwatch below is the one
+// place the lint package reads the wall clock, and its readings go to
+// operator telemetry only.
+
+// RunOptions tunes one suite execution.
+type RunOptions struct {
+	// Analyzers restricts the run to the named analyzers. Empty means the
+	// full registry. Filtered runs skip the stale-suppression audit:
+	// with most rules not executing, their //lint:allow directives would
+	// all look unused.
+	Analyzers []string
+}
+
+// Timing is the accumulated wall time of one analyzer across every
+// package of the run.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Run executes every analyzer over every package of mod, applies
+// //lint:allow suppressions (including the stale-suppression audit), and
+// returns the surviving diagnostics sorted by position.
+func Run(mod *Module, cfg *Config) []Diagnostic {
+	diags, _, err := RunSuite(mod, cfg, RunOptions{})
+	if err != nil {
+		// Unreachable: RunOptions{} names no unknown analyzers.
+		panic(err) //lint:allow panic-in-library unreachable: the default options name no analyzers, so no unknown-name error
+	}
+	return diags
+}
+
+// RunSuite executes the (optionally filtered) analyzer set over every
+// package of mod and returns the surviving diagnostics plus per-analyzer
+// timings. Unknown analyzer names are an error.
+func RunSuite(mod *Module, cfg *Config, opts RunOptions) ([]Diagnostic, []Timing, error) {
+	analyzers := Analyzers()
+	if len(opts.Analyzers) > 0 {
+		byName := map[string]*Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		picked := make([]*Analyzer, 0, len(opts.Analyzers))
+		for _, name := range opts.Analyzers {
+			a, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	var raw []Diagnostic
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Name = a.Name
+	}
+	for _, pkg := range mod.Pkgs {
+		for i, a := range analyzers {
+			start := time.Now()
+			a.Run(&Pass{Cfg: cfg, Mod: mod, Pkg: pkg, rule: a.Name, out: &raw})
+			timings[i].Elapsed += time.Since(start)
+		}
+	}
+
+	diags := applyAllows(mod, raw, len(opts.Analyzers) == 0)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, timings, nil
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 )
@@ -54,15 +55,26 @@ func parseAllows(mod *Module) []allowDirective {
 // applyAllows drops diagnostics covered by a valid //lint:allow on the
 // same line or the line directly above, and reports malformed directives
 // under the "lint-directive" rule.
-func applyAllows(mod *Module, diags []Diagnostic) []Diagnostic {
+//
+// When audit is true (a full-suite run; filtered runs would make every
+// unexercised rule's directives look dead), valid directives that
+// suppressed nothing are themselves reported under "stale-allow", so the
+// suppression inventory cannot rot as analyzers rename or code heals. The
+// audit has its own escape hatch — `//lint:allow stale-allow <reason>` on
+// or above a deliberately kept directive — and a stale-allow directive
+// that excuses nothing is stale in turn.
+func applyAllows(mod *Module, diags []Diagnostic, audit bool) []Diagnostic {
 	type key struct {
 		file string
 		line int
 		rule string
 	}
-	allowed := map[key]bool{}
+	all := parseAllows(mod)
+	allowed := map[key]*allowDirective{}
+	used := map[*allowDirective]bool{}
 	var out []Diagnostic
-	for _, d := range parseAllows(mod) {
+	for i := range all {
+		d := &all[i]
 		if !d.valid {
 			out = append(out, Diagnostic{
 				File: d.file, Line: d.line, Col: 1, Rule: "lint-directive",
@@ -70,14 +82,51 @@ func applyAllows(mod *Module, diags []Diagnostic) []Diagnostic {
 			})
 			continue
 		}
-		allowed[key{d.file, d.line, d.rule}] = true
-		allowed[key{d.file, d.line + 1, d.rule}] = true
+		allowed[key{d.file, d.line, d.rule}] = d
+		allowed[key{d.file, d.line + 1, d.rule}] = d
 	}
 	for _, d := range diags {
-		if allowed[key{d.File, d.Line, d.Rule}] {
+		if a := allowed[key{d.File, d.Line, d.Rule}]; a != nil {
+			used[a] = true
 			continue
 		}
 		out = append(out, d)
+	}
+	if !audit {
+		return out
+	}
+	known := map[string]bool{"lint-directive": true, "stale-allow": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	emitStale := func(d *allowDirective, msg string) {
+		// The audit's own suppressions work like every other rule's: a
+		// stale-allow directive on the stale directive's line or the line
+		// above excuses it (and is thereby used itself).
+		if a := allowed[key{d.file, d.line, "stale-allow"}]; a != nil && a != d {
+			used[a] = true
+			return
+		}
+		out = append(out, Diagnostic{
+			File: d.file, Line: d.line, Col: 1, Rule: "stale-allow", Msg: msg,
+		})
+	}
+	for i := range all {
+		d := &all[i]
+		if !d.valid || used[d] || d.rule == "stale-allow" {
+			continue
+		}
+		if known[d.rule] {
+			emitStale(d, fmt.Sprintf("stale //lint:allow %s: no %s diagnostic here to suppress — delete the directive", d.rule, d.rule))
+		} else {
+			emitStale(d, fmt.Sprintf("stale //lint:allow %s: unknown rule %q — delete the directive or fix the rule name", d.rule, d.rule))
+		}
+	}
+	for i := range all {
+		d := &all[i]
+		if d.valid && !used[d] && d.rule == "stale-allow" {
+			emitStale(d, "stale //lint:allow stale-allow: it excuses no stale directive — delete it")
+		}
 	}
 	return out
 }

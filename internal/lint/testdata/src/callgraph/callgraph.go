@@ -1,0 +1,89 @@
+// Package callgraph is a synthetic workload for the lifecycle index in
+// internal/lint: mutual recursion, method values, function-typed fields,
+// deferred call edges, and parameter-channel translation, each isolated
+// so the unit tests can pin exactly what the fixpoint propagates.
+package callgraph
+
+import (
+	"context"
+	"sync"
+)
+
+// Ping and Pong are mutually recursive; only Pong looks at the ctx, so
+// the cancellation signal must travel the cycle to reach Ping.
+func Ping(ctx context.Context, n int) {
+	if n > 0 {
+		Pong(ctx, n-1)
+	}
+}
+
+// Pong observes the ctx directly and calls back into Ping.
+func Pong(ctx context.Context, n int) {
+	if ctx.Err() != nil {
+		return
+	}
+	if n > 0 {
+		Ping(ctx, n-1)
+	}
+}
+
+// watcher's drain loops over the struct's channel: a loop, a blocking
+// range, and a receive from a field object — all intraprocedural.
+type watcher struct {
+	ch chan int
+}
+
+func (w *watcher) drain() {
+	for range w.ch {
+	}
+}
+
+// Grab hands drain out as a method value without calling it. The index
+// records a reference edge; signals cross it, blocking and loops do not.
+func (w *watcher) Grab() func() {
+	return w.drain
+}
+
+// waitDone blocks until the ctx is done. HandOff references it without
+// calling it; the ctx signal crosses the reference edge anyway, the
+// channel receive does not.
+func waitDone(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// HandOff returns waitDone as a value.
+func HandOff() func(context.Context) {
+	return waitDone
+}
+
+// holder's fn is a function-typed field; Invoke's call through it has no
+// statically resolvable callee, so the index records no edge and the
+// summary stays empty — spawns of such values are opaque to analyzers.
+type holder struct {
+	fn func()
+}
+
+func (h *holder) Invoke() {
+	h.fn()
+}
+
+// Blocky receives from its parameter channel; Caller forwards its own
+// parameter down, so the receive must translate into Caller's
+// recvParams, not vanish into an unmatchable local.
+func Blocky(ch chan int) int {
+	return <-ch
+}
+
+func Caller(ch chan int) int {
+	return Blocky(ch)
+}
+
+// finish is the join signal one call away; Task reaches it through a
+// deferred call, which is still a call edge.
+func finish(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+func Task(wg *sync.WaitGroup) {
+	defer finish(wg)
+}

@@ -28,9 +28,12 @@ func KeysAllowed(m map[int]bool) []int {
 	return out
 }
 
-func ShareAllowed(r *rng.RNG, out chan<- uint64) {
+func ShareAllowed(ctx context.Context, r *rng.RNG, out chan<- uint64) {
 	go func() {
-		out <- r.Uint64() //lint:allow rng-sharing fixture: suppressed shared stream
+		select {
+		case out <- r.Uint64(): //lint:allow rng-sharing fixture: suppressed shared stream
+		case <-ctx.Done():
+		}
 	}()
 }
 
@@ -110,3 +113,31 @@ type allowedBatch []allowedSpec //lint:allow manifest-drift fixture: suppressed 
 
 // CarryAllowed keeps allowedBatch used.
 func CarryAllowed(b allowedBatch) int { return len(b) }
+
+func SpinAllowed() {
+	go func() { //lint:allow goroutine-lifecycle fixture: suppressed leaked spinner
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+type valveAllowed struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (v *valveAllowed) TakeAllowed() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return <-v.ch //lint:allow lock-across-blocking fixture: suppressed receive under lock
+}
+
+func FloodAllowed(jobs <-chan func()) {
+	for job := range jobs {
+		go func() { //lint:allow unbounded-spawn fixture: suppressed unbounded fan-out
+			job()
+		}()
+	}
+}

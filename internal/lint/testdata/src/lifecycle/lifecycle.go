@@ -1,0 +1,146 @@
+// Package lifecycle exercises the three concurrency analyzers end to
+// end: each exported function is either a violation the golden test pins
+// or a provably-safe twin that must stay quiet. Unlike the fixture
+// package (one violation per rule), this one walks the analyzers through
+// their interprocedural reasoning — signals and blocking one call away,
+// closed-channel proofs, and spawn bounds.
+package lifecycle
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// LeakLoop is the classic leak: the spawned body loops forever and
+// observes nothing that could stop it.
+func LeakLoop() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// RecvUnclosed parks a goroutine on a channel nothing in the module ever
+// closes: the receive is a permanent block, not a termination signal.
+func RecvUnclosed(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// ClosedQuiet drains a channel this package provably closes, so the
+// close is the termination signal and the analyzer stays quiet.
+func ClosedQuiet() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+// pump blocks until the ctx is cancelled; it is the helper both SpawnPump
+// and the bounded spawners below lean on for their termination signal.
+func pump(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// SpawnPump is quiet interprocedurally: the ctx signal lives one call
+// away inside pump, and the summary index carries it to the go statement.
+func SpawnPump(ctx context.Context) {
+	go pump(ctx)
+}
+
+// WgJoined is quiet: the deferred Done is the join signal, so whoever
+// Waits on the group owns the goroutine's termination.
+func WgJoined(wg *sync.WaitGroup, jobs []func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, job := range jobs {
+			job()
+		}
+	}()
+}
+
+// OpaqueSpawn hands an arbitrary function value to go: the analyzer can
+// prove nothing about it and says so.
+func OpaqueSpawn(fn func()) {
+	go fn()
+}
+
+// store pairs a mutex with a channel so the lock analyzer's
+// interprocedural path has something to chase.
+type store struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// fetch blocks on the store's channel; it carries the blocking summary
+// Held depends on.
+func (s *store) fetch() int {
+	return <-s.ch
+}
+
+// Held violates lock-across-blocking one call deep: the deferred unlock
+// keeps mu held while fetch parks on the channel.
+func (s *store) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetch()
+}
+
+// Staged is the quiet twin: the unlock lands before the receive, so the
+// lock never spans a blocking operation.
+func (s *store) Staged() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return <-s.ch
+}
+
+// handle serves one connection until the ctx is done. The ctx signal
+// keeps goroutine-lifecycle quiet at every spawn of handle, so the
+// accept loops below isolate the unbounded-spawn rule.
+func handle(ctx context.Context, conn net.Conn) {
+	<-ctx.Done()
+	_ = conn.Close()
+}
+
+// Serve violates unbounded-spawn: one goroutine per accepted connection
+// with no admission bound in sight.
+func Serve(ctx context.Context, l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go handle(ctx, conn)
+	}
+}
+
+// ServeBounded is the quiet twin: a semaphore slot is taken before each
+// spawn and released by the spawned goroutine, so at most cap(sem)
+// handlers ever run.
+func ServeBounded(ctx context.Context, l net.Listener) error {
+	sem := make(chan struct{}, 8)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			handle(ctx, conn)
+		}()
+	}
+}
+
+// Counted is quiet: a counter-bounded loop is a visible spawn bound by
+// itself.
+func Counted(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go pump(ctx)
+	}
+}

@@ -1,0 +1,36 @@
+// Package staleallow exercises the stale-suppression audit: a valid
+// //lint:allow that suppresses no diagnostic is itself reported under
+// stale-allow, unless a stale-allow escape on the line above keeps it
+// deliberately.
+package staleallow
+
+// Healed once panicked on the guarded branch; the code was fixed but the
+// directive was left behind, so the audit reports the known-rule
+// leftover.
+func Healed(n int) int {
+	if n <= 0 {
+		return 0 //lint:allow panic-in-library fixture: code healed, directive left behind
+	}
+	return n
+}
+
+// Renamed carries a directive for a rule name the registry does not
+// know, so the audit points at the bad name instead of silently ignoring
+// the directive forever.
+func Renamed(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x //lint:allow map-iteration fixture: rule renamed away
+	}
+	return total
+}
+
+// Quiet keeps its dead directive on purpose: the stale-allow escape on
+// the line above excuses it, so the audit stays silent here.
+func Quiet(n int) int {
+	if n <= 0 {
+		//lint:allow stale-allow fixture: kept across a planned revert
+		return 0 //lint:allow panic-in-library fixture: deliberately kept
+	}
+	return n
+}

@@ -38,5 +38,5 @@ func idle(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	time.Sleep(d) //lint:allow nondeterminism fault-injection pacing, never a routing decision
+	time.Sleep(d)
 }

@@ -73,6 +73,15 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 	var connMu sync.Mutex
 	var connErr error
 	var wgConn sync.WaitGroup
+	// fail records the first setup error and closes every listener so no
+	// accept goroutine stays parked in Accept waiting for a connection
+	// that will never arrive (a failed dialer would otherwise hang
+	// wgConn.Wait forever). closeListeners ignores close errors, so the
+	// deferred second close is harmless.
+	fail := func(err error) {
+		setErr(&connMu, &connErr, err)
+		closeListeners(listeners)
+	}
 	// Accept side: rank j accepts n-1-j connections (from every i < j).
 	for j := 1; j < n; j++ {
 		wgConn.Add(1)
@@ -81,12 +90,12 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 			for k := 0; k < j; k++ {
 				conn, err := listeners[j].Accept()
 				if err != nil {
-					setErr(&connMu, &connErr, fmt.Errorf("mp: accept on rank %d: %w", j, err))
+					fail(fmt.Errorf("mp: accept on rank %d: %w", j, err))
 					return
 				}
 				var peerRank int
 				if err := gob.NewDecoder(conn).Decode(&peerRank); err != nil {
-					setErr(&connMu, &connErr, fmt.Errorf("mp: handshake on rank %d: %w", j, err))
+					fail(fmt.Errorf("mp: handshake on rank %d: %w", j, err))
 					return
 				}
 				registerConn(m, j, peerRank, conn)
@@ -101,11 +110,11 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 				defer wgConn.Done()
 				conn, err := net.Dial("tcp", listeners[j].Addr().String())
 				if err != nil {
-					setErr(&connMu, &connErr, fmt.Errorf("mp: dial %d->%d: %w", i, j, err))
+					fail(fmt.Errorf("mp: dial %d->%d: %w", i, j, err))
 					return
 				}
 				if err := gob.NewEncoder(conn).Encode(i); err != nil {
-					setErr(&connMu, &connErr, fmt.Errorf("mp: handshake %d->%d: %w", i, j, err))
+					fail(fmt.Errorf("mp: handshake %d->%d: %w", i, j, err))
 					return
 				}
 				registerConn(m, i, j, conn)
@@ -304,7 +313,7 @@ func (c *tComm) Send(to, tag int, v any) error {
 		p.conn.SetWriteDeadline(deadline)
 		defer p.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := p.enc.Encode(&wireEnv{Src: c.rank, Tag: tag, V: v}); err != nil {
+	if err := p.enc.Encode(&wireEnv{Src: c.rank, Tag: tag, V: v}); err != nil { //lint:allow lock-across-blocking per-peer write serialization is the framing invariant; the write deadline set above bounds the stall when SendTimeout is configured
 		// Attribute the failure: a dead peer beats a raw socket error, and
 		// a stalled write past its deadline is a deadline miss.
 		if c.m.isLost(to) || c.m.isLost(c.rank) {

@@ -80,7 +80,7 @@ func runVirtual(ctx context.Context, n int, model CostModel, fn func(Comm) error
 		defer m.mu.Unlock()
 		if m.err == nil && m.done < m.n {
 			m.err = cancelCause(ctx)
-			m.wakeAllLocked()
+			m.wakeAllLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 		}
 	})
 	defer stop()
@@ -101,7 +101,7 @@ func runVirtual(ctx context.Context, n int, model CostModel, fn func(Comm) error
 		}()
 	}
 	m.mu.Lock()
-	m.scheduleLocked()
+	m.scheduleLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 	m.mu.Unlock()
 	wg.Wait()
 
@@ -177,9 +177,9 @@ func (m *vMachine) finish(w *vWorker, err error) {
 	m.done++
 	if err != nil && m.err == nil {
 		m.err = fmt.Errorf("mp: rank %d failed: %w", w.rank, err)
-		m.wakeAllLocked()
+		m.wakeAllLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 	}
-	m.scheduleLocked()
+	m.scheduleLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 }
 
 func (c *vComm) Rank() int { return c.w.rank }
@@ -196,7 +196,7 @@ func (c *vComm) Send(to, tag int, v any) error {
 	if m.err != nil {
 		return m.err
 	}
-	size := payloadSize(v)
+	size := payloadSize(v) //lint:allow lock-across-blocking payloadSize prices the message by gob-encoding into an in-memory buffer, never a socket
 	w.vtime += m.model.SendOverhead
 	env := envelope{src: w.rank, tag: tag, v: v, avail: w.vtime + m.model.transfer(size)}
 	dst := m.workers[to]
@@ -232,7 +232,7 @@ func (c *vComm) Recv(from, tag int) (any, error) {
 		}
 		w.state = vBlockedRecv
 		w.wantSrc, w.wantTag = from, tag
-		m.scheduleLocked()
+		m.scheduleLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 		m.mu.Unlock()
 		<-w.grant
 		m.mu.Lock()
@@ -272,11 +272,11 @@ func (c *vComm) Barrier() error {
 		m.err = fmt.Errorf("mp: rank %d waits at a barrier %d ranks already exited: %w",
 			w.rank, m.done, ErrDeadlock)
 		m.inBarrier--
-		m.wakeAllLocked()
+		m.wakeAllLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 		return m.err
 	}
 	w.state = vBlockedBarrier
-	m.scheduleLocked()
+	m.scheduleLocked() //lint:allow lock-across-blocking grant has capacity 1 and the scheduler keeps at most one token outstanding per worker, so this send cannot block
 	m.mu.Unlock()
 	<-w.grant
 	m.mu.Lock()

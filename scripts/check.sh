@@ -33,7 +33,24 @@ step "go vet ./..." go vet ./...
 # payload struct or tag constant changed without `go generate ./...`.
 step "mpgen -check (generated protocol current)" go run ./cmd/mpgen -check
 
-step "parroutecheck ./..." go run ./cmd/parroutecheck ./...
+# Lint gate with a runtime budget: the suite runs on every merge, so a
+# slow analyzer is a regression too. -timings prints the per-analyzer
+# split to the log so an overrun names its culprit; override the ceiling
+# with PARROUTECHECK_BUDGET (seconds) on slow machines.
+lint_gate() {
+  local start end took budget
+  budget="${PARROUTECHECK_BUDGET:-180}"
+  start="$(date +%s)"
+  go run ./cmd/parroutecheck -timings ./... || return 1
+  end="$(date +%s)"
+  took=$((end - start))
+  echo "parroutecheck took ${took}s (budget ${budget}s)"
+  if [ "$took" -gt "$budget" ]; then
+    echo "parroutecheck exceeded its runtime budget"
+    return 1
+  fi
+}
+step "parroutecheck ./... (within budget)" lint_gate
 step "go test -race ./..." go test -race ./...
 
 # Codec fuzz smoke: the generated wire codecs must decode whatever they
