@@ -19,39 +19,29 @@ import (
 
 	"parroute/internal/channel"
 	"parroute/internal/circuit"
-	"parroute/internal/gen"
 	"parroute/internal/metrics"
-	"parroute/internal/mp"
 	"parroute/internal/parallel"
-	"parroute/internal/partition"
 	"parroute/internal/pipeline"
 	"parroute/internal/route"
+	"parroute/internal/runcfg"
 	"parroute/internal/viz"
 )
 
 func main() {
+	run := runcfg.Default()
+	sel := runcfg.DefaultCircuit()
+	runcfg.AddFlags(flag.CommandLine, &run)
+	runcfg.AddCircuitFlags(flag.CommandLine, &sel)
 	var (
-		tracks   = flag.Bool("tracks", false, "run the detailed channel router on the result and report assigned tracks")
-		svg      = flag.String("svg", "", "write the routed layout as SVG (serial algorithm only)")
-		preset   = flag.String("preset", "", "route a named synthetic benchmark circuit")
-		in       = flag.String("in", "", "route a circuit from a gensc JSON file")
-		algo     = flag.String("algo", "serial", "serial | rowwise | netwise | hybrid | all")
-		procs    = flag.Int("p", 1, "worker count for the parallel algorithms")
-		engine   = flag.String("engine", "virtual", "virtual | inproc | tcp")
-		platform = flag.String("platform", "smp", "cost model for the virtual engine: smp | dmp")
-		seed     = flag.Uint64("seed", 1, "routing seed")
-		genSeed  = flag.Uint64("gen-seed", 7, "preset generation seed")
-		method   = flag.String("netpart", "pinweight", "net partition: center | locus | density | pinweight")
-		compare  = flag.Bool("compare", false, "also run the serial baseline and report scaled quality")
-		out      = flag.String("out", "", "write the routing result (wires + quality numbers) as JSON")
-		verify   = flag.Bool("verify", false, "check routing invariants after the run (serial algorithm only)")
-		verbose  = flag.Bool("v", false, "print per-phase timings")
-		trace    = flag.String("trace", "", "write the per-stage timeline (times, allocs, counters) as JSON")
-		checkTr  = flag.String("checktrace", "", "validate a -trace file and print its summary instead of routing")
-		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no limit)")
-
-		chaosPlan = flag.String("chaos-plan", "", "fault-injection plan for the parallel algorithms, e.g. drop=0.05,delay=0.1,crash=1@25 (see mp.ParsePlan)")
-		chaosSeed = flag.Uint64("chaos-seed", 1, "seed of the deterministic fault schedule")
+		tracks  = flag.Bool("tracks", false, "run the detailed channel router on the result and report assigned tracks")
+		svg     = flag.String("svg", "", "write the routed layout as SVG (serial algorithm only)")
+		compare = flag.Bool("compare", false, "also run the serial baseline and report scaled quality")
+		out     = flag.String("out", "", "write the routing result (wires + quality numbers) as JSON")
+		verify  = flag.Bool("verify", false, "check routing invariants after the run (serial algorithm only)")
+		verbose = flag.Bool("v", false, "print per-phase timings")
+		trace   = flag.String("trace", "", "write the per-stage timeline (times, allocs, counters) as JSON")
+		checkTr = flag.String("checktrace", "", "validate a -trace file and print its summary instead of routing")
+		all     = false
 	)
 	flag.Parse()
 
@@ -62,7 +52,14 @@ func main() {
 		return
 	}
 
-	c, err := loadCircuit(*preset, *in, *genSeed)
+	// "all" is CLI sugar for the comparison table; the shared config only
+	// knows real algorithms, so resolve it before building options.
+	if run.Algo == "all" {
+		all = true
+		run.Algo = runcfg.AlgoSerial
+	}
+
+	c, err := sel.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -70,58 +67,19 @@ func main() {
 	fmt.Printf("circuit %s: %d rows, %d cells, %d nets, %d pins\n",
 		st.Name, st.Rows, st.Cells, st.Nets, st.Pins)
 
-	opts := parallel.Options{
-		Procs: *procs,
-		Route: route.Options{Seed: *seed},
-	}
-	switch *engine {
-	case "virtual":
-		opts.Mode = mp.Virtual
-	case "inproc":
-		opts.Mode = mp.Inproc
-	case "tcp":
-		opts.Mode = mp.TCP
-	default:
-		fatalf("unknown engine %q", *engine)
-	}
-	switch *platform {
-	case "smp":
-		opts.Model = mp.SMP()
-	case "dmp":
-		opts.Model = mp.DMP()
-	default:
-		fatalf("unknown platform %q", *platform)
-	}
-	found := false
-	for _, m := range partition.Methods() {
-		if m.String() == *method {
-			opts.Net = partition.Config{Method: m}
-			found = true
-		}
-	}
-	if !found {
-		fatalf("unknown net partition %q", *method)
-	}
-	if *chaosPlan != "" {
-		plan, err := mp.ParsePlan(*chaosPlan)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		plan.Seed = *chaosSeed
-		opts.Chaos = &plan
-		if *algo == "serial" {
-			fatalf("-chaos-plan applies to the parallel algorithms (serial has no transport)")
-		}
+	opts, err := run.Options()
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	ctx := context.Background()
-	if *timeout > 0 {
+	if run.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, run.Timeout)
 		defer cancel()
 	}
 
-	if *algo == "all" {
+	if all {
 		compareAll(ctx, c, opts)
 		return
 	}
@@ -129,8 +87,7 @@ func main() {
 	var res *metrics.Result
 	var routed *circuit.Circuit // post-routing circuit, for -svg
 	var tracer *pipeline.TraceRecorder
-	switch *algo {
-	case "serial":
+	if run.Serial() {
 		rt := route.NewRouter(c.Clone(), opts.Route)
 		var obs []pipeline.Observer
 		if *trace != "" {
@@ -141,7 +98,7 @@ func main() {
 		}
 		res, err = rt.Run(ctx, obs...)
 		if err != nil {
-			fatalf("routing: %v", timeoutHint(err, *timeout))
+			fatalf("routing: %v", timeoutHint(err, run.Timeout))
 		}
 		routed = rt.C
 		if *verify {
@@ -150,22 +107,13 @@ func main() {
 			}
 			fmt.Println("verification passed: every net electrically complete, all invariants hold")
 		}
-	case "rowwise":
-		opts.Algo = parallel.RowWise
+	} else {
 		res, err = parallel.Run(ctx, c, opts)
-	case "netwise":
-		opts.Algo = parallel.NetWise
-		res, err = parallel.Run(ctx, c, opts)
-	case "hybrid":
-		opts.Algo = parallel.Hybrid
-		res, err = parallel.Run(ctx, c, opts)
-	default:
-		fatalf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
-		fatalf("routing: %v", timeoutHint(err, *timeout))
+		fatalf("routing: %v", timeoutHint(err, run.Timeout))
 	}
-	if *verify && *algo != "serial" {
+	if *verify && !run.Serial() {
 		fatalf("-verify requires -algo serial (parallel results are checked by the test suite)")
 	}
 
@@ -219,7 +167,7 @@ func main() {
 		}
 		fmt.Printf("trace written to %s"+"\n", *trace)
 	}
-	if *compare && *algo != "serial" {
+	if *compare && !run.Serial() {
 		base, err := parallel.RunBaseline(ctx, c, opts)
 		if err != nil {
 			fatalf("baseline: %v", err)
@@ -248,23 +196,6 @@ func compareAll(ctx context.Context, c *circuit.Circuit, opts parallel.Options) 
 		fmt.Printf("%-8v  %10v  %8.2f  %13.3f  %12d\n",
 			algo, res.Elapsed, res.Speedup(base), res.ScaledTracks(base), res.Feedthroughs)
 	}
-}
-
-func loadCircuit(preset, in string, seed uint64) (*circuit.Circuit, error) {
-	switch {
-	case preset != "" && in != "":
-		return nil, fmt.Errorf("use -preset or -in, not both")
-	case preset != "":
-		return gen.Benchmark(preset, seed)
-	case in != "":
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return circuit.ReadJSON(f)
-	}
-	return nil, fmt.Errorf("need -preset or -in")
 }
 
 func report(res *metrics.Result, verbose bool) {

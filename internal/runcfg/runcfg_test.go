@@ -1,0 +1,187 @@
+package runcfg
+
+import (
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+
+	"parroute/internal/mp"
+	"parroute/internal/parallel"
+	"parroute/internal/partition"
+)
+
+// flagRow is one registered flag as the parity tests compare it: name,
+// default value, usage string.
+type flagRow struct{ name, def, usage string }
+
+func tableOf(fs *flag.FlagSet) []flagRow {
+	var rows []flagRow
+	fs.VisitAll(func(f *flag.Flag) {
+		rows = append(rows, flagRow{f.Name, f.DefValue, f.Usage})
+	})
+	return rows
+}
+
+// TestFlagTable pins the shared flag vocabulary: any rename, default
+// change, or new knob must update this table, and because both cmd/twgr
+// and cmd/twgrd register through AddFlags/AddCircuitFlags, the two
+// binaries cannot drift from each other without failing here.
+func TestFlagTable(t *testing.T) {
+	run := Default()
+	sel := DefaultCircuit()
+	fs := flag.NewFlagSet("parity", flag.ContinueOnError)
+	AddFlags(fs, &run)
+	AddCircuitFlags(fs, &sel)
+
+	want := []flagRow{
+		{"algo", "serial", "serial | rowwise | netwise | hybrid"},
+		{"chaos-plan", "", "fault-injection plan for the parallel algorithms, e.g. drop=0.05,delay=0.1,crash=1@25 (see mp.ParsePlan)"},
+		{"chaos-seed", "1", "seed of the deterministic fault schedule"},
+		{"engine", "virtual", "virtual | inproc | tcp"},
+		{"gen-seed", "7", "preset generation seed"},
+		{"in", "", "route a circuit from a gensc JSON file"},
+		{"netpart", "pinweight", "net partition: center | locus | density | pinweight"},
+		{"p", "1", "worker count for the parallel algorithms"},
+		{"platform", "smp", "cost model for the virtual engine: smp | dmp"},
+		{"preset", "", "route a named synthetic benchmark circuit"},
+		{"seed", "1", "routing seed"},
+		{"timeout", "0s", "abort the run after this long, e.g. 30s (0 = no limit)"},
+	}
+	got := tableOf(fs) // VisitAll iterates in lexical order
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flag table drifted:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFlagsCoverEveryRunField: a field added to Run without a flag wired
+// through AddFlags is exactly the drift the shared package exists to
+// prevent.
+func TestFlagsCoverEveryRunField(t *testing.T) {
+	run := Default()
+	fs := flag.NewFlagSet("cover", flag.ContinueOnError)
+	AddFlags(fs, &run)
+	n := 0
+	fs.VisitAll(func(*flag.Flag) { n++ })
+	if fields := reflect.TypeOf(run).NumField(); n != fields {
+		t.Errorf("AddFlags registers %d flags for %d Run fields: wire the new field through a flag", n, fields)
+	}
+
+	sel := DefaultCircuit()
+	cfs := flag.NewFlagSet("cover", flag.ContinueOnError)
+	AddCircuitFlags(cfs, &sel)
+	n = 0
+	cfs.VisitAll(func(*flag.Flag) { n++ })
+	if fields := reflect.TypeOf(sel).NumField(); n != fields {
+		t.Errorf("AddCircuitFlags registers %d flags for %d Circuit fields", n, fields)
+	}
+}
+
+// TestOptionsResolution checks the flag-value → parallel.Options mapping
+// that used to live inline in cmd/twgr: engines, platforms, partitions,
+// chaos plans, and every rejection case.
+func TestOptionsResolution(t *testing.T) {
+	for name, mode := range map[string]mp.Mode{"virtual": mp.Virtual, "inproc": mp.Inproc, "tcp": mp.TCP} {
+		r := Default()
+		r.Engine = name
+		opts, err := r.Options()
+		if err != nil {
+			t.Fatalf("engine %q: %v", name, err)
+		}
+		if opts.Mode != mode {
+			t.Errorf("engine %q resolved to mode %v", name, opts.Mode)
+		}
+	}
+
+	for _, m := range partition.Methods() {
+		r := Default()
+		r.NetPart = m.String()
+		opts, err := r.Options()
+		if err != nil {
+			t.Fatalf("netpart %q: %v", m, err)
+		}
+		if opts.Net.Method != m {
+			t.Errorf("netpart %q resolved to %v", m, opts.Net.Method)
+		}
+	}
+
+	for _, a := range parallel.Algorithms() {
+		r := Default()
+		r.Algo = a.String()
+		opts, err := r.Options()
+		if err != nil {
+			t.Fatalf("algo %q: %v", a, err)
+		}
+		if opts.Algo != a {
+			t.Errorf("algo %q resolved to %v", a, opts.Algo)
+		}
+		if r.Serial() {
+			t.Errorf("algo %q claims to be serial", a)
+		}
+	}
+
+	r := Default()
+	r.Algo = "rowwise"
+	r.ChaosPlan = "drop=0.5"
+	r.ChaosSeed = 9
+	r.Seed = 42
+	r.Procs = 4
+	opts, err := r.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Chaos == nil || opts.Chaos.Drop != 0.5 || opts.Chaos.Seed != 9 {
+		t.Errorf("chaos plan not resolved: %+v", opts.Chaos)
+	}
+	if opts.Route.Seed != 42 || opts.Procs != 4 {
+		t.Errorf("seed/procs not carried: %+v", opts)
+	}
+
+	rejects := []Run{
+		func() Run { r := Default(); r.Algo = "quantum"; return r }(),
+		func() Run { r := Default(); r.Engine = "udp"; return r }(),
+		func() Run { r := Default(); r.Platform = "numa"; return r }(),
+		func() Run { r := Default(); r.NetPart = "random"; return r }(),
+		func() Run { r := Default(); r.ChaosPlan = "drop=eleven"; return r }(),
+		func() Run { r := Default(); r.ChaosPlan = "drop=0.1"; return r }(), // chaos on serial
+		func() Run { r := Default(); r.Procs = 0; return r }(),
+	}
+	for i, r := range rejects {
+		if err := r.Validate(); err == nil {
+			t.Errorf("reject case %d accepted: %+v", i, r)
+		}
+	}
+}
+
+// TestLoadPreset: the benchmark table plus the test-scale names resolve;
+// unknown names fail with the gen error listing the real presets.
+func TestLoadPreset(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "primary2"} {
+		c, err := LoadPreset(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(c.Rows) == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+	}
+	if _, err := LoadPreset("nope", 7); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("unknown preset error = %v", err)
+	}
+}
+
+// TestCircuitSelection: the -preset/-in exclusivity rules.
+func TestCircuitSelection(t *testing.T) {
+	c := Circuit{Preset: "tiny", In: "x.json", GenSeed: 7}
+	if _, err := c.Load(); err == nil {
+		t.Error("preset+in accepted")
+	}
+	c = Circuit{GenSeed: 7}
+	if _, err := c.Load(); err == nil {
+		t.Error("empty selection accepted")
+	}
+	c = Circuit{Preset: "tiny", GenSeed: 7}
+	if _, err := c.Load(); err != nil {
+		t.Errorf("preset selection failed: %v", err)
+	}
+}

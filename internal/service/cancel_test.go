@@ -1,0 +1,302 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cancelWatchdog bounds every blocking wait in this file: a cancellation
+// that wedges instead of propagating must fail the test, not hang it.
+const cancelWatchdog = 10 * time.Second
+
+// requireSettledGoroutines polls until the goroutine count returns to
+// the baseline (plus slack for runtime helpers), dumping all stacks on
+// timeout. Mirrors the parallel package's cancellation tier: a cancelled
+// service must not leak workers, waiters, or stream pumps.
+func requireSettledGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not settle: %d running, baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWaiterDisconnectAbandonsQueuedJob: a job whose only waiter leaves
+// while it is still queued is never computed — the worker refuses it and
+// finishes it as cancelled, with the error wrapping context.Canceled.
+func TestWaiterDisconnectAbandonsQueuedJob(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+
+	// The pool is not running yet, so the job must still be queued when
+	// the waiter disconnects.
+	ticket, err := srv.Submit(context.Background(), JobSpec{Preset: "tiny"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	cancelWait() // the client is already gone
+	if _, err := ticket.Wait(waitCtx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled in the chain", err)
+	}
+
+	poolCtx, cancel := context.WithCancel(context.Background())
+	srv.Start(poolCtx)
+	defer srv.Wait() // after cancel: defers run LIFO
+	defer cancel()
+
+	select {
+	case <-ticket.Done():
+	case <-time.After(cancelWatchdog):
+		t.Fatal("abandoned job never finished")
+	}
+	if err := ticket.job.err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("job err = %v, want context.Canceled in the chain", err)
+	}
+	st := srv.Stats()
+	if st.Cancelled != 1 || st.Completed != 0 {
+		t.Fatalf("stats = %+v, want 1 cancelled, 0 completed (nothing routed for nobody)", st)
+	}
+	if _, hit := srv.cache.get(ticket.job.res.key); hit {
+		t.Fatal("abandoned job left a cache entry")
+	}
+	cancel()
+	srv.Wait()
+	requireSettledGoroutines(t, baseline)
+}
+
+// TestLastWaiterCancelsRunningJob: releasing the last ticket of a job
+// that is mid-computation cancels the routing itself.
+func TestLastWaiterCancelsRunningJob(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	poolCtx, cancel := context.WithCancel(context.Background())
+	srv.Start(poolCtx)
+	defer srv.Wait() // after cancel: defers run LIFO
+	defer cancel()
+
+	// A heavyweight job so it is still routing when the waiter leaves.
+	ticket, err := srv.Submit(context.Background(), JobSpec{Preset: "avq.large", Algo: "hybrid", Procs: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Catch the job mid-run; if routing beat us to the finish line the
+	// cancellation has nothing to bite and the test can't conclude
+	// anything — skip rather than pass vacuously.
+	deadline := time.Now().Add(cancelWatchdog)
+	for srv.Stats().Running == 0 {
+		select {
+		case <-ticket.Done():
+			t.Skip("job finished before the waiter could disconnect")
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	ticket.Release()
+
+	select {
+	case <-ticket.Done():
+	case <-time.After(cancelWatchdog):
+		t.Fatal("released job never finished")
+	}
+	if err := ticket.job.err; err == nil {
+		// The release raced the final pipeline stage; the job completed.
+		t.Skip("job completed before the cancellation landed")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("job err = %v, want context.Canceled in the chain", err)
+	}
+	st := srv.Stats()
+	if st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.Cancelled)
+	}
+	cancel()
+	srv.Wait()
+	requireSettledGoroutines(t, baseline)
+}
+
+// TestCoalescedWaiterSurvivesRelease: with two tickets on one job, one
+// waiter leaving must not cancel the computation for the other.
+func TestCoalescedWaiterSurvivesRelease(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	spec := JobSpec{Preset: "small", Algo: "netwise", Procs: 2}
+
+	t1, err := srv.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	t2, err := srv.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if srv.Stats().Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", srv.Stats().Coalesced)
+	}
+	t1.Release()
+
+	poolCtx, cancel := context.WithCancel(context.Background())
+	srv.Start(poolCtx)
+	defer srv.Wait() // after cancel: defers run LIFO
+	defer cancel()
+
+	res, err := waitTicket(t, t2)
+	if err != nil {
+		t.Fatalf("surviving waiter got an error: %v", err)
+	}
+	if len(res.Metrics) == 0 {
+		t.Fatal("surviving waiter got an empty result")
+	}
+}
+
+// TestHardStopFailsQueuedJobs: cancelling the pool context fails every
+// queued job with an error wrapping the cancellation cause — no waiter
+// is left hanging.
+func TestHardStopFailsQueuedJobs(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := New(Config{Workers: 2, QueueDepth: 8, CacheEntries: 4})
+
+	var tickets []*Ticket
+	for seed := uint64(1); seed <= 3; seed++ {
+		ticket, err := srv.Submit(context.Background(), JobSpec{Preset: "tiny", Seed: seed})
+		if err != nil {
+			t.Fatalf("Submit seed %d: %v", seed, err)
+		}
+		tickets = append(tickets, ticket)
+	}
+
+	// The pool starts on an already-cancelled context: every queued job
+	// must fail with the cancellation, none may route.
+	poolCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srv.Start(poolCtx)
+	srv.Wait()
+
+	for i, ticket := range tickets {
+		res, err := waitTicket(t, ticket)
+		if err == nil {
+			t.Fatalf("ticket %d: got a result (%d bytes), want a cancellation error", i, len(res.Metrics))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ticket %d err = %v, want context.Canceled in the chain", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.Cancelled != 3 || st.Completed != 0 {
+		t.Fatalf("stats = %+v, want 3 cancelled, 0 completed", st)
+	}
+	requireSettledGoroutines(t, baseline)
+}
+
+// TestJobTimeout: a job whose TimeoutMS expires mid-route finishes as
+// cancelled with context.DeadlineExceeded in the chain.
+func TestJobTimeout(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	ticket, err := srv.Submit(context.Background(), JobSpec{Preset: "avq.large", Algo: "hybrid", Procs: 4, TimeoutMS: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	_, err = waitTicket(t, ticket)
+	if err == nil {
+		t.Skip("routing finished inside the 1ms budget")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if st := srv.Stats(); st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.Cancelled)
+	}
+	if _, hit := srv.cache.get(ticket.job.res.key); hit {
+		t.Fatal("timed-out job left a cache entry")
+	}
+}
+
+// TestClientDisconnectOverHTTP: an SSE client that drops mid-stream
+// releases its waiter interest; as the job's only client, that cancels
+// the computation, and the server's goroutines settle.
+func TestClientDisconnectOverHTTP(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	ts := httptest.NewServer(srv.Handler())
+
+	body, err := Encode(KindJob, JobSpec{Preset: "avq.large", Algo: "hybrid", Procs: 4})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+
+	// Do returns once the SSE headers arrive (the job is admitted and
+	// parked — no pool is running); closing the body drops the
+	// connection, which is the client disconnect under test.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+
+	// Wait for the server to notice the disconnect: the stream handler
+	// releases the ticket, dropping the job's waiter count to zero.
+	key := "preset:avq.large@7|hybrid|p4|s1|pinweight"
+	deadline := time.Now().Add(cancelWatchdog)
+	for {
+		srv.mu.Lock()
+		j := srv.inflight[key]
+		waiters := -1
+		if j != nil {
+			j.mu.Lock()
+			waiters = j.waiters
+			j.mu.Unlock()
+		}
+		srv.mu.Unlock()
+		if j == nil {
+			t.Fatal("job vanished from the inflight table before the pool ran")
+		}
+		if waiters == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d, the disconnect never released the ticket", waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	poolCtx, cancel := context.WithCancel(context.Background())
+	srv.Start(poolCtx)
+
+	deadline = time.Now().Add(cancelWatchdog)
+	for {
+		st := srv.Stats()
+		if st.Cancelled == 1 && st.Completed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v, want the abandoned job cancelled, nothing completed", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	srv.Wait()
+	ts.Close()
+	requireSettledGoroutines(t, baseline)
+}

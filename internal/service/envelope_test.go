@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEnvelopeRoundTrip encodes and decodes a representative body for
+// every envelope kind and checks the payload survives unchanged.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind string
+		body any
+		into func() any
+	}{
+		{KindJob, JobSpec{Preset: "tiny", Algo: "hybrid", Procs: 4, Seed: 9, Priority: 2, TimeoutMS: 1500}, func() any { return &JobSpec{} }},
+		{KindJob, JobSpec{CircuitJSON: json.RawMessage(`{"rows":2}`), Algo: "serial", Procs: 1, Seed: 1}, func() any { return &JobSpec{} }},
+		{KindResult, JobResult{Key: "preset:tiny@7|serial|p1|s1|pinweight", CacheHit: true, Metrics: json.RawMessage(`{"final":{"len":12}}`)}, func() any { return &JobResult{} }},
+		{KindProgress, Progress{Key: "k", Stage: "coarse", Event: "end", WallNS: 123, Error: "boom"}, func() any { return &Progress{} }},
+		{KindStats, Stats{Submitted: 10, Completed: 7, Cancelled: 2, CacheHits: 3, QueueDepth: 1, ProgressDropped: 4}, func() any { return &Stats{} }},
+		{KindError, WireError{Code: CodeOverloaded, Message: "queue full"}, func() any { return &WireError{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			data, err := Encode(tc.kind, tc.body)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			env, err := Decode(data)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if env.Proto != Proto {
+				t.Fatalf("proto = %q, want %q", env.Proto, Proto)
+			}
+			got := tc.into()
+			if err := env.DecodeBody(tc.kind, got); err != nil {
+				t.Fatalf("DecodeBody: %v", err)
+			}
+			want := reflect.New(reflect.TypeOf(tc.body))
+			want.Elem().Set(reflect.ValueOf(tc.body))
+			if !reflect.DeepEqual(got, want.Interface()) {
+				t.Fatalf("round trip changed the body:\n got %+v\nwant %+v", got, tc.body)
+			}
+		})
+	}
+}
+
+// TestEnvelopeRejects pins the failure modes Decode must tell apart:
+// malformed JSON, version skew, unknown kinds, and checksum mismatches.
+func TestEnvelopeRejects(t *testing.T) {
+	good, err := Encode(KindJob, JobSpec{Preset: "tiny"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func() []byte
+		wantSub string
+	}{
+		{"malformed-json", func() []byte { return []byte(`{"proto": "twgrd/1", "kind":`) }, "malformed envelope"},
+		{"empty", func() []byte { return nil }, "malformed envelope"},
+		{"version-skew-older", func() []byte { return reencode(t, good, func(e *Envelope) { e.Proto = "twgrd/0" }) }, "version skew"},
+		{"version-skew-newer", func() []byte { return reencode(t, good, func(e *Envelope) { e.Proto = "twgrd/2" }) }, "version skew"},
+		{"version-missing", func() []byte { return reencode(t, good, func(e *Envelope) { e.Proto = "" }) }, "version skew"},
+		{"unknown-kind", func() []byte { return reencode(t, good, func(e *Envelope) { e.Kind = "job.steal" }) }, "unknown envelope kind"},
+		{"tampered-body", func() []byte {
+			return reencode(t, good, func(e *Envelope) { e.Body = json.RawMessage(`{"preset":"primary2"}`) })
+		}, "checksum mismatch"},
+		{"tampered-sum", func() []byte { return reencode(t, good, func(e *Envelope) { e.Sum = "0000000000000000" }) }, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.mutate())
+			if err == nil {
+				t.Fatal("Decode accepted a bad envelope")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// reencode decodes raw (structurally, without Verify), applies mutate,
+// and re-serializes — keeping the original Sum unless mutate changes it,
+// so kind/proto edits and body tampering both invalidate the checksum
+// path they should.
+func reencode(t *testing.T, raw []byte, mutate func(*Envelope)) []byte {
+	t.Helper()
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// Kind and proto are covered by the checksum; recompute it for edits
+	// that the skew/kind checks (which run before Verify) must catch on
+	// their own merits, not as checksum noise.
+	old := env
+	mutate(&env)
+	if env.Proto != old.Proto || env.Kind != old.Kind {
+		env.Sum = checksum(env.Proto, env.Kind, env.Body)
+	}
+	out, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return out
+}
+
+// TestDecodeBodyKindMismatch: a result envelope must not decode into a
+// JobSpec just because the fields happen to overlap.
+func TestDecodeBodyKindMismatch(t *testing.T) {
+	data, err := Encode(KindResult, JobResult{Key: "k", Metrics: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var spec JobSpec
+	if err := env.DecodeBody(KindJob, &spec); err == nil {
+		t.Fatal("DecodeBody accepted a job.result envelope as job.submit")
+	}
+}
+
+// TestVerifyDetectsSplice: swapping the body of one valid envelope into
+// another (same kind) fails Verify even though both parts are valid.
+func TestVerifyDetectsSplice(t *testing.T) {
+	a, err := Encode(KindJob, JobSpec{Preset: "tiny", Seed: 1})
+	if err != nil {
+		t.Fatalf("Encode a: %v", err)
+	}
+	b, err := Encode(KindJob, JobSpec{Preset: "small", Seed: 2})
+	if err != nil {
+		t.Fatalf("Encode b: %v", err)
+	}
+	var envA, envB Envelope
+	if err := json.Unmarshal(a, &envA); err != nil {
+		t.Fatalf("unmarshal a: %v", err)
+	}
+	if err := json.Unmarshal(b, &envB); err != nil {
+		t.Fatalf("unmarshal b: %v", err)
+	}
+	envA.Body = envB.Body // splice: b's body under a's checksum
+	if err := envA.Verify(); err == nil {
+		t.Fatal("Verify accepted a spliced body")
+	}
+}

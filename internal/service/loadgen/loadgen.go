@@ -1,0 +1,359 @@
+// Package loadgen drives a twgrd daemon with a deterministic synthetic
+// workload: mixed presets and algorithms, cache-hit storms (small seed
+// pools funnel many jobs onto few keys), mid-flight client cancellations,
+// and SSE progress consumers. It is the probe half of the service test
+// tier — the soak test aims it at a daemon under -race and then audits
+// the wreckage: per-key result bytes must be identical across every
+// response, and the daemon's counters must account for every job.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"parroute/internal/rng"
+	"parroute/internal/service"
+)
+
+// Profile shapes a load run. Zero values get test-scale defaults.
+type Profile struct {
+	Jobs        int      // total jobs to submit (default 100)
+	Concurrency int      // concurrent clients (default 8)
+	Presets     []string // circuit mix (default tiny+small)
+	Algos       []string // algorithm mix (default serial+all parallel)
+	Procs       []int    // worker-count mix (default 1,2,4)
+	Seeds       []uint64 // routing-seed pool; small pools force cache collisions (default {1,2,3})
+	Priorities  []int    // priority mix (default {0})
+	// CancelEvery disconnects every Nth client request mid-flight
+	// (0 = never). Cancelled requests may still complete server-side —
+	// other waiters, or the cache, keep the bytes.
+	CancelEvery int
+	// StreamEvery makes every Nth request consume SSE progress
+	// (0 = never).
+	StreamEvery int
+	// Seed drives the generator's own deterministic choice stream.
+	Seed uint64
+}
+
+func (p *Profile) normalize() {
+	if p.Jobs <= 0 {
+		p.Jobs = 100
+	}
+	if p.Concurrency <= 0 {
+		p.Concurrency = 8
+	}
+	if len(p.Presets) == 0 {
+		p.Presets = []string{"tiny", "small"}
+	}
+	if len(p.Algos) == 0 {
+		p.Algos = []string{"serial", "rowwise", "netwise", "hybrid"}
+	}
+	if len(p.Procs) == 0 {
+		p.Procs = []int{1, 2, 4}
+	}
+	if len(p.Seeds) == 0 {
+		p.Seeds = []uint64{1, 2, 3}
+	}
+	if len(p.Priorities) == 0 {
+		p.Priorities = []int{0}
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Report tallies a load run. Every submitted job lands in exactly one of
+// Completed, CacheHits (a subset of Completed), Cancelled, Rejected* or
+// Errored; Check audits the arithmetic.
+type Report struct {
+	Submitted        atomic.Int64
+	Completed        atomic.Int64 // got a result envelope back
+	CacheHits        atomic.Int64 // result was flagged cacheHit
+	Cancelled        atomic.Int64 // client-side cancel or server-reported cancellation
+	RejectedOverload atomic.Int64 // 429
+	RejectedDraining atomic.Int64 // 503 draining
+	Errored          atomic.Int64 // anything else
+	ProgressEvents   atomic.Int64 // SSE stage events consumed
+
+	mu     sync.Mutex
+	byKey  map[string][]byte // first Metrics bytes seen per key
+	errs   []string          // bounded sample of unexpected failures
+	maxErr int
+}
+
+// Results returns a copy of the per-key canonical metrics bytes observed.
+func (r *Report) Results() map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte, len(r.byKey))
+	for k, v := range r.byKey {
+		out[k] = v
+	}
+	return out
+}
+
+// Errs returns the sampled unexpected errors.
+func (r *Report) Errs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.errs...)
+}
+
+// Check audits the report: every job accounted for, and no key ever
+// produced two different byte strings (recorded during collection).
+func (r *Report) Check() error {
+	sub := r.Submitted.Load()
+	acct := r.Completed.Load() + r.Cancelled.Load() + r.RejectedOverload.Load() +
+		r.RejectedDraining.Load() + r.Errored.Load()
+	if sub != acct {
+		return fmt.Errorf("loadgen: %d submitted but %d accounted for (dropped jobs)", sub, acct)
+	}
+	if e := r.Errs(); len(e) > 0 {
+		return fmt.Errorf("loadgen: %d unexpected errors, first: %s", r.Errored.Load(), e[0])
+	}
+	return nil
+}
+
+func (r *Report) recordResult(key string, metrics []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		if !bytes.Equal(prev, metrics) {
+			return fmt.Errorf("loadgen: key %s returned different bytes across responses (%d vs %d)", key, len(prev), len(metrics))
+		}
+		return nil
+	}
+	r.byKey[key] = metrics
+	return nil
+}
+
+func (r *Report) recordErr(msg string) {
+	r.Errored.Add(1)
+	r.mu.Lock()
+	if len(r.errs) < r.maxErr {
+		r.errs = append(r.errs, msg)
+	}
+	r.mu.Unlock()
+}
+
+// Run drives the daemon at baseURL with the profile, blocking until
+// every job has a recorded outcome or ctx is cancelled. Job n's spec is
+// derived from (profile seed, n) alone, so the same profile submits the
+// same job multiset on every run — scheduling only decides which client
+// goroutine carries which job.
+func Run(ctx context.Context, baseURL string, p Profile) (*Report, error) {
+	p.normalize()
+	rep := &Report{byKey: make(map[string][]byte), maxErr: 16}
+	client := &http.Client{}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p.Concurrency)
+	for c := 0; c < p.Concurrency; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= p.Jobs || ctx.Err() != nil {
+					return
+				}
+				runOne(ctx, client, baseURL, &p, n, rep)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("loadgen: load run cut short: %w", err)
+	}
+	return rep, nil
+}
+
+// runOne submits the nth job, drawing its spec from a job-indexed rng
+// stream (golden-ratio increments keep nearby indices uncorrelated).
+func runOne(ctx context.Context, client *http.Client, baseURL string, p *Profile, n int, rep *Report) {
+	r := rng.New(p.Seed + uint64(n)*0x9e3779b97f4a7c15)
+	spec := service.JobSpec{
+		Preset:   p.Presets[r.Intn(len(p.Presets))],
+		Algo:     p.Algos[r.Intn(len(p.Algos))],
+		Procs:    p.Procs[r.Intn(len(p.Procs))],
+		Seed:     p.Seeds[r.Intn(len(p.Seeds))],
+		Priority: p.Priorities[r.Intn(len(p.Priorities))],
+	}
+	stream := p.StreamEvery > 0 && n%p.StreamEvery == 0
+	cancelled := p.CancelEvery > 0 && n%p.CancelEvery == 1
+	rep.Submitted.Add(1)
+
+	reqCtx := ctx
+	var cancel context.CancelFunc
+	if cancelled {
+		// A mid-flight disconnect: drop the connection while the request
+		// (or its SSE stream) is in progress.
+		reqCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
+	body, err := service.Encode(service.KindJob, spec)
+	if err != nil {
+		rep.recordErr(fmt.Sprintf("encode: %v", err))
+		return
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		rep.recordErr(fmt.Sprintf("request: %v", err))
+		return
+	}
+	if stream {
+		req.Header.Set("Accept", "text/event-stream")
+	}
+	if cancelled && !stream {
+		// Cancel as soon as the request is on the wire: the job may
+		// already be queued or running when the waiter leaves.
+		cancel()
+	}
+
+	resp, err := client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			rep.Cancelled.Add(1)
+			return
+		}
+		rep.recordErr(fmt.Sprintf("do: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case stream:
+		consumeStream(rep, resp, cancel)
+	case resp.StatusCode == http.StatusOK:
+		recordResultBody(rep, resp.Body)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		rep.RejectedOverload.Add(1)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		classifyUnavailable(rep, resp.Body)
+	default:
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rep.recordErr(fmt.Sprintf("status %d: %s", resp.StatusCode, data))
+	}
+}
+
+// classifyUnavailable splits 503s into drain rejections and cancelled
+// jobs (a drain that cancels an in-flight job also answers 503).
+func classifyUnavailable(rep *Report, body io.Reader) {
+	var werr service.WireError
+	if env, err := decodeEnvelope(body); err == nil && env.DecodeBody(service.KindError, &werr) == nil {
+		if werr.Code == service.CodeCancelled {
+			rep.Cancelled.Add(1)
+			return
+		}
+	}
+	rep.RejectedDraining.Add(1)
+}
+
+func decodeEnvelope(body io.Reader) (*service.Envelope, error) {
+	data, err := io.ReadAll(io.LimitReader(body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return service.Decode(bytes.TrimSpace(data))
+}
+
+func recordResultBody(rep *Report, body io.Reader) {
+	env, err := decodeEnvelope(body)
+	if err != nil {
+		rep.recordErr(fmt.Sprintf("result envelope: %v", err))
+		return
+	}
+	var res service.JobResult
+	if err := env.DecodeBody(service.KindResult, &res); err != nil {
+		rep.recordErr(fmt.Sprintf("result body: %v", err))
+		return
+	}
+	if err := rep.recordResult(res.Key, res.Metrics); err != nil {
+		rep.recordErr(err.Error())
+		return
+	}
+	rep.Completed.Add(1)
+	if res.CacheHit {
+		rep.CacheHits.Add(1)
+	}
+}
+
+// consumeStream reads an SSE response: progress events count, the final
+// result or error event decides the outcome. When cancel is non-nil the
+// client disconnects after the first progress event — a mid-flight
+// cancellation with the job provably started.
+func consumeStream(rep *Report, resp *http.Response, cancel context.CancelFunc) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	var kind string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch kind {
+			case service.KindProgress:
+				rep.ProgressEvents.Add(1)
+				if cancel != nil {
+					cancel()
+					rep.Cancelled.Add(1)
+					return
+				}
+			case service.KindResult:
+				env, err := service.Decode([]byte(data))
+				if err != nil {
+					rep.recordErr(fmt.Sprintf("sse result: %v", err))
+					return
+				}
+				var res service.JobResult
+				if err := env.DecodeBody(service.KindResult, &res); err != nil {
+					rep.recordErr(fmt.Sprintf("sse result body: %v", err))
+					return
+				}
+				if err := rep.recordResult(res.Key, res.Metrics); err != nil {
+					rep.recordErr(err.Error())
+					return
+				}
+				rep.Completed.Add(1)
+				if res.CacheHit {
+					rep.CacheHits.Add(1)
+				}
+				return
+			case service.KindError:
+				var werr service.WireError
+				if env, err := service.Decode([]byte(data)); err == nil && env.DecodeBody(service.KindError, &werr) == nil {
+					if werr.Code == service.CodeCancelled {
+						rep.Cancelled.Add(1)
+						return
+					}
+					rep.recordErr(fmt.Sprintf("sse error: %s: %s", werr.Code, werr.Message))
+					return
+				}
+				rep.recordErr("sse error event with undecodable envelope")
+				return
+			}
+		}
+	}
+	// Stream ended without a terminal event: a disconnect raced the
+	// result. Count it as cancelled when this client was the canceller.
+	if cancel != nil {
+		rep.Cancelled.Add(1)
+		return
+	}
+	if err := sc.Err(); err != nil && errors.Is(err, context.Canceled) {
+		rep.Cancelled.Add(1)
+		return
+	}
+	rep.recordErr("sse stream ended without a result or error event")
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parroute/internal/service"
+)
+
+// TestReportAccounting pins the Check arithmetic and the per-key byte
+// consistency guard.
+func TestReportAccounting(t *testing.T) {
+	rep := &Report{byKey: make(map[string][]byte), maxErr: 4}
+	rep.Submitted.Store(3)
+	rep.Completed.Store(1)
+	rep.Cancelled.Store(1)
+	if err := rep.Check(); err == nil || !strings.Contains(err.Error(), "dropped jobs") {
+		t.Fatalf("Check = %v, want a dropped-jobs error", err)
+	}
+	rep.RejectedOverload.Store(1)
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check on balanced books: %v", err)
+	}
+
+	if err := rep.recordResult("k", []byte("abc")); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	if err := rep.recordResult("k", []byte("abc")); err != nil {
+		t.Fatalf("identical record: %v", err)
+	}
+	if err := rep.recordResult("k", []byte("abd")); err == nil {
+		t.Fatal("recordResult accepted diverging bytes for one key")
+	}
+
+	rep.recordErr("boom")
+	rep.Submitted.Add(1) // an errored job still counts as submitted
+	if err := rep.Check(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Check = %v, want the recorded error surfaced", err)
+	}
+}
+
+// TestRunDeterministicMix: the same profile against a live daemon twice
+// produces the same per-key result set — the generator's choice stream
+// is seeded, not wall-clock.
+func TestRunDeterministicMix(t *testing.T) {
+	srv := service.New(service.Config{Workers: 4, QueueDepth: 64, CacheEntries: 32})
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	defer srv.Wait() // after cancel: defers run LIFO
+	defer cancel()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	profile := Profile{Jobs: 60, Concurrency: 4, Presets: []string{"tiny"}, Seeds: []uint64{1, 2}, Seed: 7}
+	rep1, err := Run(context.Background(), ts.URL, profile)
+	if err != nil {
+		t.Fatalf("Run 1: %v", err)
+	}
+	if err := rep1.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), ts.URL, profile)
+	if err != nil {
+		t.Fatalf("Run 2: %v", err)
+	}
+	if err := rep2.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, r2 := rep1.Results(), rep2.Results()
+	if len(r1) == 0 || len(r1) != len(r2) {
+		t.Fatalf("key sets differ: %d vs %d", len(r1), len(r2))
+	}
+	for k, v := range r1 {
+		if string(r2[k]) != string(v) {
+			t.Fatalf("key %s differs across identical runs", k)
+		}
+	}
+	if rep2.CacheHits.Load() != rep2.Completed.Load() {
+		t.Fatalf("second run: %d completed but only %d cache hits (the daemon already knew every key)",
+			rep2.Completed.Load(), rep2.CacheHits.Load())
+	}
+}

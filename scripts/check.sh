@@ -51,7 +51,9 @@ lint_gate() {
   fi
 }
 step "parroutecheck ./... (within budget)" lint_gate
-step "go test -race ./..." go test -race ./...
+# The service soak is excluded here and run as its own step below, so it
+# executes exactly once per gate with an explicit, tunable volume.
+step "go test -race ./..." go test -race -skip 'TestServiceSoak' ./...
 
 # Codec fuzz smoke: the generated wire codecs must decode whatever they
 # encode and re-encode it byte-identically (the canonical-encoding
@@ -80,6 +82,18 @@ cancel_tier() {
     ./internal/mp ./internal/parallel
 }
 step "cancellation tier" cancel_tier
+
+# Service soak tier: the twgrd core under a mixed concurrent load —
+# cache-hit storms, mid-flight disconnects, SSE consumers, priorities —
+# under the race detector, with a full accounting audit, per-key byte
+# parity against one-shot runs, graceful drain, and a goroutine-leak
+# check (see DESIGN.md §13). SOAK_JOBS scales the volume; 1000 is the
+# acceptance floor.
+soak_tier() {
+  SOAK_JOBS="${SOAK_JOBS:-1000}" go test -race -count=1 \
+    -run 'TestServiceSoak' ./internal/service
+}
+step "service soak (twgrd load + byte parity)" soak_tier
 
 # Bench smoke: the serial hot path still runs end to end under the
 # benchmark harness, and the committed perf baseline stays parseable
