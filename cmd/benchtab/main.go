@@ -9,7 +9,8 @@
 //	benchtab -ablation partition  # or: sync
 //	benchtab -quick -all          # smaller circuit set for a fast pass
 //	benchtab -quick -json BENCH_PR4.json   # machine-readable perf snapshot
-//	benchtab -checkjson BENCH_PR4.json     # validate a committed snapshot
+//	benchtab -quick -tcpjson BENCH_PR9.json  # framed-vs-gob TCP wire comparison
+//	benchtab -checkjson BENCH_PR4.json     # validate a committed snapshot (either schema)
 //
 // -json measures the tree (serial wall-clock with per-phase split and
 // allocation counts, parallel speedup and scaled tracks on the simulated
@@ -21,6 +22,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +46,7 @@ func main() {
 		circuits  = flag.String("circuits", "", "comma-separated circuit subset")
 		procs     = flag.String("procs", "1,2,4,8", "comma-separated worker counts")
 		jsonOut   = flag.String("json", "", "write a machine-readable perf report to this path")
+		tcpJSON   = flag.String("tcpjson", "", "write a framed-vs-gob TCP wire comparison to this path")
 		label     = flag.String("label", "", "label stored in the -json report")
 		checkJSON = flag.String("checkjson", "", "parse and validate a perf report, then exit")
 	)
@@ -71,6 +75,10 @@ func main() {
 
 	if *jsonOut != "" {
 		writeReport(cfg, *jsonOut, *label)
+		return
+	}
+	if *tcpJSON != "" {
+		writeTCPReport(cfg, *tcpJSON, *label)
 		return
 	}
 
@@ -166,24 +174,62 @@ func writeReport(cfg bench.Config, path, label string) {
 	}
 }
 
-// validateReport parses a report file, failing the process on any error —
-// the CI smoke check that the committed BENCH_PR4.json stays readable.
-func validateReport(path string) {
-	f, err := os.Open(path)
+// writeTCPReport measures the framed-vs-gob wire comparison on the real
+// loopback-TCP engine and writes it to path.
+func writeTCPReport(cfg bench.Config, path, label string) {
+	rep, err := bench.CollectTCPReport(cfg, label)
+	if err != nil {
+		fatalf("collecting tcp report: %v", err)
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	r, err := bench.ReadReport(f)
+	if err := bench.WriteTCPReport(f, rep); err != nil {
+		fatalf("writing tcp report: %v", err)
+	}
+	fmt.Printf("wrote %s: mean framed speedup %.2fx over gob (%d runs at %d procs)\n",
+		path, rep.MeanFramedSpeedup, len(rep.Runs), rep.Procs)
+}
+
+// validateReport parses a report file, failing the process on any error —
+// the CI smoke check that the committed BENCH_PR4.json / BENCH_PR9.json
+// stay readable. The schema field selects the reader.
+func validateReport(path string) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("%s: schema %s, %d serial + %d parallel runs", path, r.Schema,
-		len(r.Current.Serial), len(r.Current.Parallel))
-	if r.Baseline != nil {
-		fmt.Printf(", serial speedup vs baseline %.2fx", r.SerialSpeedupVsBaseline)
+	var head struct {
+		Schema string `json:"schema"`
 	}
-	fmt.Println()
+	if err := json.Unmarshal(raw, &head); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	switch head.Schema {
+	case bench.TCPReportSchema:
+		r, err := bench.ReadTCPReport(bytes.NewReader(raw))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(r.Runs) == 0 {
+			fatalf("%s: tcp report has no runs", path)
+		}
+		fmt.Printf("%s: schema %s, %d framed-vs-gob runs at %d procs, mean framed speedup %.2fx\n",
+			path, r.Schema, len(r.Runs), r.Procs, r.MeanFramedSpeedup)
+	default:
+		r, err := bench.ReadReport(bytes.NewReader(raw))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s: schema %s, %d serial + %d parallel runs", path, r.Schema,
+			len(r.Current.Serial), len(r.Current.Parallel))
+		if r.Baseline != nil {
+			fmt.Printf(", serial speedup vs baseline %.2fx", r.SerialSpeedupVsBaseline)
+		}
+		fmt.Println()
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,128 @@
+package main
+
+// The cross-process smoke test: build the real twgr binary, spawn one OS
+// process per rank with -engine tcp -addr/-rank/-ranks, and require rank
+// 0's result JSON to match a single-process run of the same options —
+// the goldens' byte-for-byte determinism, demonstrated over actual
+// sockets between actual processes rather than goroutines standing in
+// for them.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parroute/internal/metrics"
+)
+
+// buildTwgr compiles the command under test into dir once per test run.
+func buildTwgr(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "twgr")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback rendezvous address: bind, record, release.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// resultJSON parses a -out file and zeroes the wall-clock fields, the
+// same normalization the golden oracle applies.
+func resultJSON(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := metrics.ReadResultJSON(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	res.Elapsed = 0
+	res.Phases = nil
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDistTwoProcessSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildTwgr(t, dir)
+	circuit := []string{"-preset", "small", "-gen-seed", "42", "-seed", "7", "-algo", "hybrid"}
+
+	// The single-process reference: same circuit, same seed, two workers
+	// on the inproc engine.
+	soloOut := filepath.Join(dir, "solo.json")
+	solo := exec.Command(bin, append(append([]string{}, circuit...),
+		"-p", "2", "-engine", "inproc", "-out", soloOut)...)
+	if out, err := solo.CombinedOutput(); err != nil {
+		t.Fatalf("single-process run: %v\n%s", err, out)
+	}
+
+	// Two real OS processes meshed over loopback TCP.
+	addr := freeAddr(t)
+	distOut := filepath.Join(dir, "dist.json")
+	procs := make([]*exec.Cmd, 2)
+	outs := make([]bytes.Buffer, 2)
+	for r := 0; r < 2; r++ {
+		args := append(append([]string{}, circuit...),
+			"-engine", "tcp", "-addr", addr, "-rank", fmt.Sprint(r), "-ranks", "2")
+		if r == 0 {
+			args = append(args, "-out", distOut)
+		}
+		procs[r] = exec.Command(bin, args...)
+		procs[r].Stdout = &outs[r]
+		procs[r].Stderr = &outs[r]
+		if err := procs[r].Start(); err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	done := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) { done <- procs[r].Wait() }(r)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("a rank failed: %v\nrank 0:\n%s\nrank 1:\n%s", err, outs[0].String(), outs[1].String())
+			}
+		case <-time.After(120 * time.Second):
+			for _, p := range procs {
+				_ = p.Process.Kill()
+			}
+			t.Fatalf("mesh hung\nrank 0:\n%s\nrank 1:\n%s", outs[0].String(), outs[1].String())
+		}
+	}
+	if !strings.Contains(outs[1].String(), "rank 1 finished") {
+		t.Errorf("rank 1 did not report worker completion:\n%s", outs[1].String())
+	}
+
+	want := resultJSON(t, soloOut)
+	got := resultJSON(t, distOut)
+	if !bytes.Equal(want, got) {
+		t.Errorf("two-process result differs from the single-process run (len %d vs %d)\nrank 0 output:\n%s",
+			len(want), len(got), outs[0].String())
+	}
+}

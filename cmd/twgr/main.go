@@ -7,6 +7,12 @@
 //	twgr -preset avq.large -algo rowwise -p 8    # parallel, simulated SMP
 //	twgr -in circuit.json -algo hybrid -p 4 -platform dmp
 //	twgr -preset biomed -algo netwise -p 8 -engine inproc
+//
+// With -addr/-rank/-ranks, N separate twgr processes form one TCP mesh
+// and route the circuit together (rank 0 reports the result):
+//
+//	twgr -preset primary2 -algo hybrid -engine tcp -addr 127.0.0.1:9300 -rank 0 -ranks 2
+//	twgr -preset primary2 -algo hybrid -engine tcp -addr 127.0.0.1:9300 -rank 1 -ranks 2
 package main
 
 import (
@@ -30,8 +36,10 @@ import (
 func main() {
 	run := runcfg.Default()
 	sel := runcfg.DefaultCircuit()
+	var dist runcfg.Dist
 	runcfg.AddFlags(flag.CommandLine, &run)
 	runcfg.AddCircuitFlags(flag.CommandLine, &sel)
+	runcfg.AddDistFlags(flag.CommandLine, &dist)
 	var (
 		tracks  = flag.Bool("tracks", false, "run the detailed channel router on the result and report assigned tracks")
 		svg     = flag.String("svg", "", "write the routed layout as SVG (serial algorithm only)")
@@ -70,6 +78,14 @@ func main() {
 	opts, err := run.Options()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if err := dist.Apply(&run, &opts); err != nil {
+		fatalf("%v", err)
+	}
+	if dist.Addr != "" && (all || *compare) {
+		// Both rerun parallel.Run, and each call would re-rendezvous the
+		// whole mesh; a multi-process run routes exactly once.
+		fatalf("-addr runs one algorithm once; drop -compare / -algo all")
 	}
 
 	ctx := context.Background()
@@ -115,6 +131,13 @@ func main() {
 	}
 	if *verify && !run.Serial() {
 		fatalf("-verify requires -algo serial (parallel results are checked by the test suite)")
+	}
+	if res == nil {
+		// A non-zero rank of a multi-process mesh: its worker ran to
+		// completion and the merged result was gathered by rank 0's
+		// process, so there is nothing to report (or write) here.
+		fmt.Printf("rank %d finished; the merged result is reported by rank 0\n", dist.Rank)
+		return
 	}
 
 	report(res, *verbose)

@@ -1,0 +1,164 @@
+package bench
+
+// The framed-wire benchmark: the PR-9 acceptance artifact BENCH_PR9.json
+// records what putting the generated flat codecs on the socket buys over
+// the gob stream they replaced. Both encodings drive the same real
+// loopback-TCP mesh (the distributed-memory transport), so the ratio
+// isolates wire encoding from routing work.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"parroute/internal/circuit"
+	"parroute/internal/metrics"
+	"parroute/internal/mp"
+	"parroute/internal/parallel"
+	"parroute/internal/partition"
+	"parroute/internal/route"
+)
+
+// TCPReportSchema identifies the on-disk format of BENCH_PR9.json.
+const TCPReportSchema = "parroute-bench-tcp/1"
+
+// TCPReport is the committed framed-vs-gob measurement: per circuit and
+// algorithm, the wall-clock of a full parallel route over loopback TCP
+// with the generated codecs against the same route with every payload
+// forced through the gob fallback.
+type TCPReport struct {
+	Schema    string `json:"schema"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"goVersion"`
+	Seed      uint64 `json:"seed"`
+	Reps      int    `json:"reps"`
+	Procs     int    `json:"procs"`
+
+	Runs []TCPRun `json:"runs"`
+
+	// MeanFramedSpeedup is the mean over runs of gob wall-clock divided
+	// by framed wall-clock; above 1.0 the codecs pay for themselves.
+	MeanFramedSpeedup float64 `json:"meanFramedSpeedup"`
+}
+
+// TCPRun is one circuit+algorithm cell of the comparison. TotalTracks
+// and Area are recorded once because both encodings must produce them
+// identically — the collector fails if the wire format leaks into
+// routing output.
+type TCPRun struct {
+	Circuit     string  `json:"circuit"`
+	Algo        string  `json:"algo"`
+	FramedNS    int64   `json:"framedNs"`
+	GobNS       int64   `json:"gobNs"`
+	Speedup     float64 `json:"speedup"`
+	TotalTracks int     `json:"totalTracks"`
+	Area        int64   `json:"area"`
+}
+
+// CollectTCPReport measures every configured circuit with all three
+// parallel algorithms at the largest configured worker count, framed and
+// gob, keeping the fastest of cfg.Reps timings per cell.
+func CollectTCPReport(cfg Config, label string) (*TCPReport, error) {
+	cfg.Normalize()
+	s := NewSuite(cfg)
+	procs := 1
+	for _, p := range cfg.Procs {
+		if p > procs {
+			procs = p
+		}
+	}
+	if procs < 2 {
+		return nil, fmt.Errorf("bench: the TCP comparison needs a parallel worker count, got procs %v", cfg.Procs)
+	}
+	rep := &TCPReport{
+		Schema:    TCPReportSchema,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		Seed:      cfg.Seed,
+		Reps:      cfg.Reps,
+		Procs:     procs,
+	}
+	var speedups []float64
+	for _, name := range cfg.Circuits {
+		c, err := s.Circuit(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range parallel.Algorithms() {
+			framed, err := fastestTCPRun(c, algo, procs, cfg, false)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %v framed: %w", name, algo, err)
+			}
+			gob, err := fastestTCPRun(c, algo, procs, cfg, true)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %v gob: %w", name, algo, err)
+			}
+			if framed.TotalTracks != gob.TotalTracks || framed.Area != gob.Area {
+				return nil, fmt.Errorf("bench: %s %v: wire encoding changed routing output "+
+					"(framed %d tracks / %d area, gob %d / %d)",
+					name, algo, framed.TotalTracks, framed.Area, gob.TotalTracks, gob.Area)
+			}
+			sp := SpeedupRatio(gob.Elapsed.Nanoseconds(), framed.Elapsed.Nanoseconds())
+			speedups = append(speedups, sp)
+			rep.Runs = append(rep.Runs, TCPRun{
+				Circuit:     name,
+				Algo:        algo.String(),
+				FramedNS:    framed.Elapsed.Nanoseconds(),
+				GobNS:       gob.Elapsed.Nanoseconds(),
+				Speedup:     sp,
+				TotalTracks: framed.TotalTracks,
+				Area:        framed.Area,
+			})
+		}
+	}
+	rep.MeanFramedSpeedup = Mean(speedups)
+	return rep, nil
+}
+
+// fastestTCPRun routes the circuit over the real loopback-TCP engine and
+// keeps the fastest of reps runs (results are deterministic across reps;
+// only timing varies).
+func fastestTCPRun(c *circuit.Circuit, algo parallel.Algorithm, procs int,
+	cfg Config, gobWire bool) (*metrics.Result, error) {
+
+	var best *metrics.Result
+	for rep := 0; rep < cfg.Reps; rep++ {
+		runtime.GC() // keep earlier runs' garbage out of this run's wall-clock
+		r, err := parallel.Run(context.Background(), c, parallel.Options{
+			Algo:    algo,
+			Procs:   procs,
+			Mode:    mp.TCP,
+			GobWire: gobWire,
+			Route:   route.Options{Seed: cfg.Seed + 1},
+			Net:     partition.Config{Method: partition.PinWeight},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Elapsed < best.Elapsed {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// WriteTCPReport serializes the report as indented JSON.
+func WriteTCPReport(w io.Writer, r *TCPReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadTCPReport parses a framed-wire report and validates its schema.
+func ReadTCPReport(rd io.Reader) (*TCPReport, error) {
+	var r TCPReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decoding tcp report: %w", err)
+	}
+	if r.Schema != TCPReportSchema {
+		return nil, fmt.Errorf("bench: tcp report schema %q, want %q", r.Schema, TCPReportSchema)
+	}
+	return &r, nil
+}

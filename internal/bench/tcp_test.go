@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTCPReportJSONRoundTrip(t *testing.T) {
+	orig := &TCPReport{
+		Schema: TCPReportSchema, Label: "rt", GoVersion: "gotest",
+		Seed: 7, Reps: 1, Procs: 4,
+		Runs: []TCPRun{{Circuit: "primary2", Algo: "hybrid",
+			FramedNS: 100, GobNS: 250, Speedup: 2.5, TotalTracks: 10, Area: 100}},
+		MeanFramedSpeedup: 2.5,
+	}
+	var buf bytes.Buffer
+	if err := WriteTCPReport(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Guard the JSON key names the CI smoke reads from the committed file.
+	for _, key := range []string{`"schema"`, `"runs"`, `"framedNs"`, `"gobNs"`, `"meanFramedSpeedup"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("serialized tcp report lacks %s:\n%s", key, buf.String())
+		}
+	}
+	got, err := ReadTCPReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != TCPReportSchema || len(got.Runs) != 1 || got.Runs[0].Speedup != 2.5 {
+		t.Fatalf("tcp report mangled: %+v", got)
+	}
+}
+
+func TestReadTCPReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadTCPReport(strings.NewReader(`{"schema":"parroute-bench/1","runs":[]}`)); err == nil {
+		t.Fatal("snapshot schema accepted as a tcp report")
+	}
+	if _, err := ReadTCPReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestCollectTCPReportNeedsParallelProcs(t *testing.T) {
+	if _, err := CollectTCPReport(Config{Procs: []int{1}}, ""); err == nil {
+		t.Fatal("a serial-only proc list must be rejected")
+	}
+}
+
+// TestCollectTCPReportSmoke measures one real framed-vs-gob cell over
+// loopback TCP and checks the invariants the committed BENCH_PR9.json
+// relies on: positive timings, recorded parity fields, a finite ratio.
+func TestCollectTCPReportSmoke(t *testing.T) {
+	rep, err := CollectTCPReport(Config{
+		Circuits: []string{"primary2"},
+		Procs:    []int{2},
+		Seed:     7,
+		Reps:     1,
+	}, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 2 || len(rep.Runs) != 3 {
+		t.Fatalf("report shape: procs %d, %d runs; want 2 procs and one run per algorithm", rep.Procs, len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.FramedNS <= 0 || r.GobNS <= 0 {
+			t.Errorf("%s %s: non-positive timing %+v", r.Circuit, r.Algo, r)
+		}
+		if r.TotalTracks <= 0 || r.Area <= 0 {
+			t.Errorf("%s %s: missing routing output %+v", r.Circuit, r.Algo, r)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s %s: speedup %v", r.Circuit, r.Algo, r.Speedup)
+		}
+	}
+	if rep.MeanFramedSpeedup <= 0 {
+		t.Errorf("mean framed speedup %v", rep.MeanFramedSpeedup)
+	}
+}

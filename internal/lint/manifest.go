@@ -117,7 +117,81 @@ func runManifestDrift(p *Pass) {
 	checkStaleEntries(p, man, marked)
 	for _, f := range p.Pkg.Files {
 		checkSentPayloads(p, man, f)
+		checkWireCodecRegistrations(p, man, f)
 	}
+}
+
+// checkWireCodecRegistrations verifies every RegisterWireCodec call
+// against the manifest's wire-id table: the registered prototype must be
+// a manifest type and the id must be its recorded wireId. The ids are on
+// the socket now — a frame's payload is decoded by looking the id up on
+// the receiving process — so an id the manifest does not record, or one
+// attached to a different type than the manifest says, is a protocol
+// fork between builds, not a style problem.
+func checkWireCodecRegistrations(p *Pass, man *mpproto.Manifest, f *ast.File) {
+	info := p.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != mpPkgPath ||
+			fn.Name() != "RegisterWireCodec" || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := constUint32Of(info, call.Args[0])
+		if !ok {
+			p.Reportf(call.Args[0].Pos(),
+				"RegisterWireCodec id must be a constant so %s can record it", mpproto.ManifestName)
+			return true
+		}
+		typeName := staticPayloadName(info, call.Args[1])
+		if typeName == "" {
+			return true
+		}
+		entry := manifestTypeByQualifiedName(man, typeName)
+		if entry == nil {
+			p.Reportf(call.Args[1].Pos(),
+				"wire codec registered for %s, which %s does not record: run `go generate ./...` and commit the regenerated files",
+				typeName, mpproto.ManifestName)
+			return true
+		}
+		if entry.WireID != id {
+			p.Reportf(call.Args[0].Pos(),
+				"wire codec for %s registered under id %d but %s records wireId %d: run `go generate ./...` and commit the regenerated files",
+				typeName, id, mpproto.ManifestName, entry.WireID)
+		}
+		return true
+	})
+}
+
+// manifestTypeByQualifiedName finds the entry whose qualified name
+// ("pkg/path.Name", or the builtin spelling) matches typeName.
+func manifestTypeByQualifiedName(man *mpproto.Manifest, typeName string) *mpproto.TypeEntry {
+	for i := range man.Types {
+		e := &man.Types[i]
+		if e.Package == "" && e.Name == typeName {
+			return e
+		}
+		if e.Package != "" && e.Package+"."+e.Name == typeName {
+			return e
+		}
+	}
+	return nil
+}
+
+// constUint32Of extracts a constant uint32 from an expression.
+func constUint32Of(info *types.Info, e ast.Expr) (uint32, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !exact || v > 1<<32-1 {
+		return 0, false
+	}
+	return uint32(v), true
 }
 
 // checkMarkedTypes verifies every //mp:payload type of f against its

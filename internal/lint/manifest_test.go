@@ -11,7 +11,8 @@ import (
 // deliberately stale mp_protocol.json committed beside
 // testdata/src/manifestdrift: marked-but-missing payloads, un-flat
 // payloads, stale manifest entries, unpriced send payloads, tag value
-// drift, missing tags, and tag-site payload-set drift.
+// drift, missing tags, tag-site payload-set drift, and wire-codec
+// registrations whose id or type the manifest does not record.
 func TestManifestDriftFixture(t *testing.T) {
 	diags := loadFixture(t, "testdata/src/manifestdrift")
 	wants := []struct{ rule, substr string }{
@@ -19,6 +20,8 @@ func TestManifestDriftFixture(t *testing.T) {
 		{"manifest-drift", "payload BadMsg has no flat wire layout"},
 		{"manifest-drift", "mp_protocol.json entry GhostBatch has no //mp:payload type in this package"},
 		{"manifest-drift", "payload type parroute/internal/lint/testdata/src/manifestdrift.UnpricedMsg is sent over mp but not priced by mp_protocol.json"},
+		{"manifest-drift", "wire codec for parroute/internal/lint/testdata/src/manifestdrift.DriftBatch registered under id 5 but mp_protocol.json records wireId 4"},
+		{"manifest-drift", "wire codec registered for parroute/internal/lint/testdata/src/manifestdrift.UnpricedMsg, which mp_protocol.json does not record"},
 		{"tag-discipline", "tag tagDrift = 11 but mp_protocol.json records 12"},
 		{"tag-discipline", "tag tagMissing is not in mp_protocol.json's tag table"},
 		{"send-recv-pairing", "Send sends []int32 under tag tagPaired, but mp_protocol.json records payloads [int]"},

@@ -12,6 +12,9 @@
 //     records a different payload set.
 //   - SendUnpriced hands the unmarked UnpricedMsg to Send, so the
 //     payload is not priced by any manifest entry.
+//   - RegisterCodecs registers DriftBatch under a wire id that disagrees
+//     with the manifest's record, and a codec for UnpricedMsg, which the
+//     manifest does not record at all.
 //
 // Every tag is paired with a receive so only the manifest checks fire
 // under tag-discipline and send-recv-pairing.
@@ -37,6 +40,20 @@ type BadMsg struct {
 // so the manifest has no layout for it.
 type UnpricedMsg struct {
 	N int
+}
+
+// DriftBatch matches its manifest layout, but the registration below
+// uses a different wire id than the manifest records.
+//
+//mp:payload
+type DriftBatch []int32
+
+// RegisterCodecs stands in for a generated init: the first registration's
+// id drifted from the manifest's wireId record, the second registers a
+// codec for a type the manifest has never seen.
+func RegisterCodecs() {
+	mp.RegisterWireCodec(5, DriftBatch(nil), nil, nil)
+	mp.RegisterWireCodec(6, UnpricedMsg{}, nil, nil)
 }
 
 const (
@@ -80,4 +97,4 @@ func DrainAll(c mp.Comm, from int) error {
 }
 
 // Keep keeps the marked types referenced.
-func Keep(b MissingBatch, m BadMsg) int { return len(b) + len(m.M) }
+func Keep(b MissingBatch, m BadMsg, d DriftBatch) int { return len(b) + len(m.M) + len(d) }

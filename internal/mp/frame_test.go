@@ -1,0 +1,246 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	RegisterPayload(gobOnlyPayload{})
+	msg := chaosMsg{Seq: 42, V: gobOnlyPayload{A: 1, B: 2}}
+	stream, err := appendFrame(nil, 3, 17, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second frame on the same stream, through the gob fallback, on a
+	// reserved engine tag.
+	stream, err = appendFrame(stream, 1, tagBarrier, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := bytes.NewReader(stream)
+	body, err := readFrame(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tag, v, err := decodeFrameBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 3 || tag != 17 {
+		t.Fatalf("frame 1 header = src %d tag %d", src, tag)
+	}
+	if got, ok := v.(chaosMsg); !ok || got.Seq != 42 || !reflect.DeepEqual(got.V, msg.V) {
+		t.Fatalf("frame 1 payload = %#v", v)
+	}
+	// The second read reuses the first body as scratch.
+	body, err = readFrame(r, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tag, v, err = decodeFrameBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 1 || tag != tagBarrier || v != true {
+		t.Fatalf("frame 2 = src %d tag %d payload %#v", src, tag, v)
+	}
+	if _, err := readFrame(r, body); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCanonicalReencode(t *testing.T) {
+	// A decoded frame must re-encode byte-identically: the outer chaosMsg
+	// takes its generated flat codec, and the nested gob fallback is
+	// deterministic too because every encode runs a fresh encoder.
+	RegisterPayload(gobOnlyPayload{})
+	frame, err := appendFrame(nil, 0, 5, chaosMsg{Seq: 7, V: gobOnlyPayload{A: 2, B: 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tag, v, err := decodeFrameBody(frame[frameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := appendFrame(nil, src, tag, v, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, re) {
+		t.Fatalf("re-encode differs:\n got %x\nwant %x", re, frame)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	frame, err := appendFrame(nil, 0, 1, 99, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"cut header", frame[:2]},
+		{"cut body", frame[:len(frame)-3]},
+		{"oversized length prefix", AppendUint32(nil, maxFrameLen+1)},
+	}
+	for _, tc := range cases {
+		if _, err := readFrame(bytes.NewReader(tc.data), nil); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, err)
+		}
+	}
+	// Exhausted stream before any header byte is the clean close, not an
+	// error: that is how readLoop tells teardown from corruption.
+	if _, err := readFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Errorf("empty stream = %v, want io.EOF", err)
+	}
+	// Trailing bytes inside a body mean a framing bug.
+	body := append(append([]byte{}, frame[frameHeaderLen:]...), 0)
+	if _, _, _, err := decodeFrameBody(body); !errors.Is(err, ErrWire) {
+		t.Errorf("trailing body byte accepted: %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := hello{Checksum: WireProtocolChecksum, Rank: 3, Addr: "127.0.0.1:9999"}
+	got, err := decodeHello(appendHello(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello round trip = %+v, want %+v", got, h)
+	}
+
+	bad := appendHello(nil, h)
+	bad[4] ^= 0xFF // first magic byte, after the string length prefix
+	if _, err := decodeHello(bad); err == nil {
+		t.Error("corrupted hello magic accepted")
+	}
+	wrongVersion := AppendUint32(AppendString(nil, helloMagic), setupVersion+1)
+	wrongVersion = AppendString(AppendInt(AppendUint64(wrongVersion, 1), 2), "")
+	if _, err := decodeHello(wrongVersion); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future hello version accepted: %v", err)
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tbl := addrTable{Checksum: WireProtocolChecksum, Addrs: []string{"", "10.0.0.2:41000", "10.0.0.3:41002"}}
+	got, err := decodeTable(appendTable(nil, tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != tbl.Checksum || !reflect.DeepEqual(got.Addrs, tbl.Addrs) {
+		t.Fatalf("table round trip = %+v, want %+v", got, tbl)
+	}
+	enc := appendTable(nil, tbl)
+	if _, err := decodeTable(enc[:len(enc)-2]); !errors.Is(err, ErrWire) {
+		t.Errorf("truncated table accepted: %v", err)
+	}
+	if _, err := decodeTable(appendHello(nil, hello{})); err == nil {
+		t.Error("hello decoded as a table")
+	}
+}
+
+func TestProtocolChecksumAssigned(t *testing.T) {
+	// The generated init must have stamped the build's protocol
+	// fingerprint; a zero checksum would let mismatched builds mesh.
+	if WireProtocolChecksum == 0 {
+		t.Fatal("WireProtocolChecksum is zero: mpwire_gen.go did not assign it")
+	}
+}
+
+func TestRecvHelloChecksumMismatch(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		h := hello{Checksum: WireProtocolChecksum ^ 1, Rank: 2}
+		_ = writeConnFrame(b, appendHello(nil, h), time.Second)
+	}()
+	_, err := recvHello(a, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("mismatched protocol checksum accepted: %v", err)
+	}
+}
+
+// TestRecvHelloSilentPeerBounded is the regression test for the accept
+// watchdog: the handshake read used to carry no deadline, so a dialer
+// that connected and then went silent parked the accept goroutine (and
+// with it the whole mesh setup) forever.
+func TestRecvHelloSilentPeerBounded(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close() // b never writes
+	start := time.Now()
+	_, err := recvHello(a, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("handshake with a silent peer succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("silent-peer handshake failed with %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("handshake took %v; the deadline did not bound it", elapsed)
+	}
+}
+
+// FuzzFrame drives the socket framing with arbitrary bytes: any stream
+// readFrame+decodeFrameBody accept must re-encode byte-identically when
+// the payload went through a registered flat codec (canonical encoding);
+// gob-fallback accepts only need to round-trip by value.
+func FuzzFrame(f *testing.F) {
+	RegisterPayload(gobOnlyPayload{})
+	seed, err := appendFrame(nil, 3, 7, chaosMsg{Seq: 12, V: gobOnlyPayload{A: 5, B: 6}}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	gobSeed, err := appendFrame(nil, 0, tagBarrier, true, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gobSeed)
+	f.Add(seed[:5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		src, tag, v, err := decodeFrameBody(body)
+		if err != nil {
+			return
+		}
+		// Gob bodies are not canonical (decode not panicking is the
+		// property there); a registered codec wrapping a gob-fallback
+		// payload is canonical only outside the gob body.
+		canonical := codecByType(v) != nil
+		if m, ok := v.(chaosMsg); ok && codecByType(m.V) == nil {
+			canonical = false
+		}
+		re, err := appendFrame(nil, src, tag, v, false)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if consumed := data[:frameHeaderLen+len(body)]; canonical && !bytes.Equal(consumed, re) {
+			t.Fatalf("decode/encode not canonical:\nconsumed %x\nre-enc   %x", consumed, re)
+		}
+		body2, err := readFrame(bytes.NewReader(re), nil)
+		if err != nil {
+			t.Fatalf("re-encoded frame unreadable: %v", err)
+		}
+		src2, tag2, v2, err := decodeFrameBody(body2)
+		if err != nil || src2 != src || tag2 != tag || !reflect.DeepEqual(v, v2) {
+			t.Fatalf("re-encoded frame did not round-trip: %v / src %d tag %d %#v vs src %d tag %d %#v",
+				err, src, tag, v, src2, tag2, v2)
+		}
+	})
+}

@@ -14,8 +14,12 @@
 //     benchmarks.
 //   - Inproc: real concurrent goroutines with in-memory mailboxes, for
 //     hosts with real cores.
-//   - TCP: one goroutine per rank, all traffic gob-encoded over loopback
-//     TCP sockets — the "distributed memory" deployment shape.
+//   - TCP: one goroutine per rank, all traffic framed over loopback TCP
+//     sockets with the generated parroute-mpwire/1 codecs (gob only as
+//     the unregistered-payload fallback) — the "distributed memory"
+//     deployment shape. With Config.Net set, the same transport spans
+//     OS processes: each process runs one rank and the mesh forms
+//     through a rank-zero rendezvous (see NetConfig).
 //
 // Ownership discipline: a sent value belongs to the receiver afterwards.
 // Senders must not retain or mutate payloads after Send; the in-memory
@@ -52,6 +56,10 @@ type Comm interface {
 const (
 	// tagBarrier carries the TCP engine's barrier gather/release tokens.
 	tagBarrier = -2
+	// tagShutdown carries the multi-process TCP engine's two-phase
+	// termination tokens (see rendezvous.go), kept off tagBarrier so
+	// shutdown traffic can never interleave with a user-level barrier.
+	tagShutdown = -3
 )
 
 // Mode selects the execution engine.
@@ -63,7 +71,8 @@ const (
 	// Inproc runs workers as truly concurrent goroutines.
 	Inproc
 	// TCP runs workers as goroutines that communicate over loopback TCP
-	// with gob encoding.
+	// with framed parroute-mpwire/1 encoding (or one worker per process
+	// when Config.Net is set).
 	TCP
 )
 
@@ -93,6 +102,15 @@ type Config struct {
 	// Chaos, when non-nil, wraps the selected engine in a deterministic
 	// fault injector driven by the plan (see Chaos).
 	Chaos *Plan
+	// Net, when non-nil, places this process at one rank of a
+	// multi-process TCP mesh formed through a rank-zero rendezvous (see
+	// NetConfig). Requires Mode == TCP; Procs must equal Net.Ranks. The
+	// engine then runs the worker function exactly once, at Net.Rank.
+	Net *NetConfig
+	// GobWire forces every TCP frame payload through the gob fallback
+	// (wire id 0) instead of the generated flat codecs — the benchmark
+	// baseline that isolates what the codecs buy. Ignored off TCP.
+	GobWire bool
 }
 
 // Limits bounds single-message waits on the real-time engines.
@@ -105,9 +123,22 @@ type Limits struct {
 	// socket before failing with ErrDeadline. Zero means no limit. The
 	// in-memory engines never block in Send.
 	SendTimeout time.Duration
+	// HandshakeTimeout bounds each connection-setup hello read or write
+	// on the TCP engines (loopback mesh and rendezvous), so a peer that
+	// connects and then goes silent fails the setup instead of parking
+	// an accept goroutine forever. Zero means 10s.
+	HandshakeTimeout time.Duration
 	// Counters, when non-nil, receives deadline-miss counts. Config.Run
 	// points it at the chaos counter set automatically when Chaos is on.
 	Counters *FaultCounters
+}
+
+// handshakeTimeout resolves the default.
+func (l Limits) handshakeTimeout() time.Duration {
+	if l.HandshakeTimeout > 0 {
+		return l.HandshakeTimeout
+	}
+	return 10 * time.Second
 }
 
 // ErrDeadlock is returned when every worker is blocked and no message can
@@ -159,16 +190,22 @@ func (e inprocEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (
 	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
 }
 
-type tcpEngine struct{ lim Limits }
+type tcpEngine struct {
+	lim     Limits
+	gobWire bool
+}
 
 func (e tcpEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
 	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
-	err := runTCP(ctx, procs, e.lim, fn)
+	err := runTCP(ctx, procs, e.lim, e.gobWire, fn)
 	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
 }
 
 // baseEngine builds the transport selected by Mode, without chaos.
 func (cfg Config) baseEngine() (Engine, error) {
+	if cfg.Net != nil && cfg.Mode != TCP {
+		return nil, fmt.Errorf("mp: Net requires Mode TCP, got %v", cfg.Mode)
+	}
 	switch cfg.Mode {
 	case Virtual:
 		model := cfg.Model
@@ -179,7 +216,10 @@ func (cfg Config) baseEngine() (Engine, error) {
 	case Inproc:
 		return inprocEngine{lim: cfg.Limits}, nil
 	case TCP:
-		return tcpEngine{lim: cfg.Limits}, nil
+		if cfg.Net != nil {
+			return netEngine{cfg: *cfg.Net, lim: cfg.Limits, gobWire: cfg.GobWire}, nil
+		}
+		return tcpEngine{lim: cfg.Limits, gobWire: cfg.GobWire}, nil
 	default:
 		return nil, fmt.Errorf("mp: unknown mode %v", cfg.Mode)
 	}

@@ -1,0 +1,341 @@
+package mp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Multi-process TCP: the same framed transport as the loopback engine,
+// but each rank is its own OS process and the mesh forms through a
+// rank-zero rendezvous.
+//
+// Rank 0 binds the configured address. Every other rank dials it
+// (retrying while rank 0 comes up), opens its own mesh listener, and
+// introduces itself with a hello frame carrying its rank, its listener
+// address, and the build's WireProtocolChecksum. Once all ranks have
+// checked in, rank 0 replies to each with the full address table; the
+// rendezvous connections themselves become the 0<->r mesh links, and the
+// remaining links form the loopback engine's way (rank i dials every
+// j > i at the table address, introducing itself with a hello).
+//
+// Teardown is the part that differs from the loopback engine, where a
+// global WaitGroup separates "all ranks done" from "close the sockets".
+// Across processes there is no such join, so a successful run ends with
+// a two-phase shutdown on the reserved tagShutdown: barrier #1 proves
+// every rank's worker returned without error; each rank then marks
+// itself closing (so arriving EOFs read as teardown, not rank loss) and
+// enters barrier #2, which proves every rank is marked; only then are
+// connections closed. A rank whose worker failed skips the barriers and
+// tears down immediately — its peers' readLoops are not yet closing, so
+// they correctly attribute the dropped connections to a lost rank.
+
+// NetConfig places one process at a rank of a multi-process TCP mesh.
+// Every cooperating process must run the same binary build (the
+// rendezvous verifies WireProtocolChecksum) with the same Ranks and Addr
+// and a distinct Rank.
+type NetConfig struct {
+	// Rank is this process's rank in [0, Ranks).
+	Rank int
+	// Ranks is the total number of cooperating processes.
+	Ranks int
+	// Addr is the rendezvous address: rank 0 binds it, every other rank
+	// dials it. Host:port; the host also picks the interface the other
+	// ranks' mesh listeners bind.
+	Addr string
+	// RendezvousTimeout bounds mesh formation end to end — dialing rank 0
+	// while it starts up, collecting hellos, distributing the table, and
+	// forming the remaining links. Zero means 60s.
+	RendezvousTimeout time.Duration
+}
+
+func (c NetConfig) validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("mp: net: Ranks must be positive, got %d", c.Ranks)
+	}
+	if c.Rank < 0 || c.Rank >= c.Ranks {
+		return fmt.Errorf("mp: net: Rank %d out of [0, %d)", c.Rank, c.Ranks)
+	}
+	if c.Addr == "" && c.Ranks > 1 {
+		return fmt.Errorf("mp: net: Addr required for %d ranks", c.Ranks)
+	}
+	return nil
+}
+
+func (c NetConfig) rendezvousTimeout() time.Duration {
+	if c.RendezvousTimeout > 0 {
+		return c.RendezvousTimeout
+	}
+	return 60 * time.Second
+}
+
+// netEngine runs the local rank of a multi-process mesh. Unlike the
+// other engines it executes fn exactly once, at cfg.Rank; procs must
+// match cfg.Ranks so algorithm code sees the Comm size it asked for.
+type netEngine struct {
+	cfg     NetConfig
+	lim     Limits
+	gobWire bool
+}
+
+func (e netEngine) Run(ctx context.Context, procs int, fn func(Comm) error) (time.Duration, error) {
+	if procs != e.cfg.Ranks {
+		return 0, fmt.Errorf("mp: net: %d procs requested but the mesh has %d ranks", procs, e.cfg.Ranks)
+	}
+	start := time.Now() //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+	err := runTCPNet(ctx, e.cfg, e.lim, e.gobWire, fn)
+	return time.Since(start), err //lint:allow nondeterminism elapsed-time measurement, never a routing decision
+}
+
+func runTCPNet(ctx context.Context, cfg NetConfig, lim Limits, gobWire bool, fn func(Comm) error) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n := cfg.Ranks
+	m := newTMachine(n, lim, gobWire, func(r int) bool { return r == cfg.Rank })
+	stop := context.AfterFunc(ctx, func() { m.abort(cancelCause(ctx)) })
+	defer stop()
+
+	conns, err := formMesh(ctx, cfg, lim)
+	if err != nil {
+		closeConns(conns)
+		return err
+	}
+	for peer, conn := range conns {
+		if conn != nil {
+			registerConn(m, cfg.Rank, peer, conn)
+		}
+	}
+	var wgRead sync.WaitGroup
+	for peer := 0; peer < n; peer++ {
+		p := m.peers[cfg.Rank][peer]
+		if p == nil {
+			continue
+		}
+		wgRead.Add(1)
+		go func(peer int, conn net.Conn) {
+			defer wgRead.Done()
+			m.readLoop(cfg.Rank, peer, conn)
+		}(peer, p.conn)
+	}
+
+	c := &tComm{m: m, rank: cfg.Rank}
+	err = fn(c)
+	if err == nil {
+		err = shutdown(c, m)
+	}
+	if err != nil {
+		m.abort(fmt.Errorf("mp: rank %d failed: %w", cfg.Rank, err))
+	}
+	m.closeAll()
+	wgRead.Wait()
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return cancelCause(ctx)
+	}
+	return nil
+}
+
+// shutdown is the two-phase termination protocol described at the top of
+// this file. When barrier #2 returns, every rank has set closing, so the
+// caller's closeAll drops connections that every peer reads as teardown.
+func shutdown(c *tComm, m *tMachine) error {
+	if err := c.barrierOn(tagShutdown); err != nil {
+		return fmt.Errorf("mp: shutdown barrier: %w", err)
+	}
+	m.setClosing()
+	if err := c.barrierOn(tagShutdown); err != nil {
+		return fmt.Errorf("mp: shutdown release: %w", err)
+	}
+	return nil
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// formMesh returns this rank's connection to every peer (nil for self).
+// On error the caller closes whatever was returned.
+func formMesh(ctx context.Context, cfg NetConfig, lim Limits) ([]net.Conn, error) {
+	n := cfg.Ranks
+	conns := make([]net.Conn, n)
+	if n == 1 {
+		return conns, nil
+	}
+	deadline := time.Now().Add(cfg.rendezvousTimeout()) //lint:allow nondeterminism transport deadline, never a routing decision
+	hs := lim.handshakeTimeout()
+
+	if cfg.Rank == 0 {
+		l, err := net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return conns, fmt.Errorf("mp: rendezvous: listen %s: %w", cfg.Addr, err)
+		}
+		defer l.Close()
+		addrs, err := collectHellos(l, conns, deadline, hs)
+		if err != nil {
+			return conns, err
+		}
+		table := appendTable(nil, addrTable{Checksum: WireProtocolChecksum, Addrs: addrs})
+		for r := 1; r < n; r++ {
+			if err := writeConnFrame(conns[r], table, hs); err != nil {
+				return conns, fmt.Errorf("mp: rendezvous: send table to rank %d: %w", r, err)
+			}
+		}
+		return conns, nil
+	}
+
+	// Rank r > 0: dial rank 0 (retrying while it comes up), advertise a
+	// fresh mesh listener on the same interface, and learn where everyone
+	// else accepts.
+	rc, err := dialRetry(ctx, cfg.Addr, deadline)
+	if err != nil {
+		return conns, err
+	}
+	conns[0] = rc
+	host, _, err := net.SplitHostPort(rc.LocalAddr().String())
+	if err != nil {
+		return conns, fmt.Errorf("mp: rendezvous: local address %q: %w", rc.LocalAddr(), err)
+	}
+	l, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return conns, fmt.Errorf("mp: rendezvous: mesh listener: %w", err)
+	}
+	defer l.Close()
+	if err := sendHello(rc, cfg.Rank, l.Addr().String(), hs); err != nil {
+		return conns, fmt.Errorf("mp: rendezvous: hello to rank 0: %w", err)
+	}
+	// The table arrives only after every rank has checked in, so this
+	// read waits out the whole rendezvous window, not one handshake slot.
+	body, err := readConnFrame(rc, time.Until(deadline)) //lint:allow nondeterminism transport deadline, never a routing decision
+	if err != nil {
+		return conns, fmt.Errorf("mp: rendezvous: read table: %w", err)
+	}
+	table, err := decodeTable(body)
+	if err != nil {
+		return conns, fmt.Errorf("mp: rendezvous: table: %w", err)
+	}
+	if table.Checksum != WireProtocolChecksum {
+		return conns, fmt.Errorf("mp: rendezvous: protocol checksum mismatch: rank 0 built against %#016x, this build has %#016x", table.Checksum, WireProtocolChecksum)
+	}
+	if len(table.Addrs) != n {
+		return conns, fmt.Errorf("mp: rendezvous: table has %d addresses for %d ranks", len(table.Addrs), n)
+	}
+
+	// Mesh links among ranks 1..n-1, the loopback engine's way: accept
+	// from every lower rank, then dial every higher one. Dials only start
+	// after this rank's own accepts complete, and rank 1 has none, so the
+	// chain makes progress without a goroutine per link.
+	if err := setListenerDeadline(l, deadline); err != nil {
+		return conns, err
+	}
+	for k := 1; k < cfg.Rank; k++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return conns, fmt.Errorf("mp: rendezvous: accept on rank %d: %w", cfg.Rank, err)
+		}
+		h, err := recvHello(conn, hs)
+		if err != nil {
+			conn.Close()
+			return conns, fmt.Errorf("mp: rendezvous: handshake on rank %d: %w", cfg.Rank, err)
+		}
+		if h.Rank < 1 || h.Rank >= cfg.Rank || conns[h.Rank] != nil {
+			conn.Close()
+			return conns, fmt.Errorf("mp: rendezvous: unexpected hello from rank %d on rank %d", h.Rank, cfg.Rank)
+		}
+		conns[h.Rank] = conn
+	}
+	d := net.Dialer{Deadline: deadline}
+	for j := cfg.Rank + 1; j < n; j++ {
+		conn, err := d.DialContext(ctx, "tcp", table.Addrs[j])
+		if err != nil {
+			return conns, fmt.Errorf("mp: rendezvous: dial rank %d at %s: %w", j, table.Addrs[j], err)
+		}
+		conns[j] = conn
+		if err := sendHello(conn, cfg.Rank, "", hs); err != nil {
+			return conns, fmt.Errorf("mp: rendezvous: hello %d->%d: %w", cfg.Rank, j, err)
+		}
+	}
+	return conns, nil
+}
+
+// collectHellos accepts and verifies the n-1 check-ins at rank 0,
+// recording each rank's mesh listen address and keeping the connection
+// as the 0<->rank mesh link. Every read is deadline-bounded: a dialer
+// that connects and never writes, a duplicate rank, or a checksum
+// mismatch fails the rendezvous rather than parking it forever.
+func collectHellos(l net.Listener, conns []net.Conn, deadline time.Time, hs time.Duration) ([]string, error) {
+	n := len(conns)
+	addrs := make([]string, n)
+	for got := 0; got < n-1; got++ {
+		if err := setListenerDeadline(l, deadline); err != nil {
+			return nil, err
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("mp: rendezvous: waiting for %d more rank(s): %w", n-1-got, err)
+		}
+		h, err := recvHello(conn, hs)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("mp: rendezvous: handshake: %w", err)
+		}
+		if h.Rank < 1 || h.Rank >= n {
+			conn.Close()
+			return nil, fmt.Errorf("mp: rendezvous: hello from rank %d of %d", h.Rank, n)
+		}
+		if conns[h.Rank] != nil {
+			conn.Close()
+			return nil, fmt.Errorf("mp: rendezvous: rank %d checked in twice", h.Rank)
+		}
+		if h.Addr == "" {
+			conn.Close()
+			return nil, fmt.Errorf("mp: rendezvous: rank %d advertised no mesh address", h.Rank)
+		}
+		conns[h.Rank] = conn
+		addrs[h.Rank] = h.Addr
+	}
+	return addrs, nil
+}
+
+func setListenerDeadline(l net.Listener, deadline time.Time) error {
+	tl, ok := l.(*net.TCPListener)
+	if !ok {
+		return fmt.Errorf("mp: rendezvous: listener %T cannot set a deadline", l)
+	}
+	if err := tl.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("mp: rendezvous: arm accept deadline: %w", err)
+	}
+	return nil
+}
+
+// dialRetry dials addr until it answers or the deadline passes. Rank 0
+// may start after its peers, so refusals back off and retry instead of
+// failing the run.
+func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
+	d := net.Dialer{Deadline: deadline}
+	wait := 5 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, cancelCause(ctx)
+		}
+		if !time.Now().Before(deadline) { //lint:allow nondeterminism transport deadline, never a routing decision
+			return nil, fmt.Errorf("mp: rendezvous: dial %s: gave up after the rendezvous window: %w (%w)", addr, err, ErrDeadline)
+		}
+		idle(wait)
+		if wait < 500*time.Millisecond {
+			wait *= 2
+		}
+	}
+}

@@ -1,21 +1,23 @@
 package mp
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 )
 
 // The TCP engine gives every rank a loopback listener and a full mesh of
-// gob-encoded connections — the "distributed memory machine" deployment
-// shape, with real serialization and kernel round trips on every message.
-// Barriers are built from point-to-point messages (gather to rank 0, then
-// release) on the reserved tagBarrier, so the whole engine needs nothing
-// beyond sockets.
+// framed connections — the "distributed memory machine" deployment shape,
+// with real serialization and kernel round trips on every message. Frames
+// carry the generated parroute-mpwire/1 codecs (see frame.go); gob only
+// appears as the wire-id-0 fallback for unregistered payloads. Barriers
+// are built from point-to-point messages (gather to rank 0, then release)
+// on the reserved tagBarrier, so the whole engine needs nothing beyond
+// sockets. The same machine also runs with a single local rank under the
+// multi-process rendezvous engine (see rendezvous.go).
 
 type tComm struct {
 	m    *tMachine
@@ -23,10 +25,11 @@ type tComm struct {
 }
 
 type tMachine struct {
-	n     int
-	lim   Limits
-	boxes []*mailbox
-	peers [][]*tPeer // [rank][peer]
+	n       int
+	lim     Limits
+	gobWire bool       // force the gob fallback inside frames (benchmarks)
+	boxes   []*mailbox // nil for ranks that live in another process
+	peers   [][]*tPeer // [rank][peer]; only local ranks' rows are populated
 
 	mu      sync.Mutex
 	aborted error
@@ -34,20 +37,33 @@ type tMachine struct {
 	lost    []bool // ranks whose connections died mid-run
 }
 
-// tPeer is one directed view of a connection: an encoder guarded by a
-// mutex. nil for self.
+// newTMachine builds the shared state for n ranks. locals marks which
+// ranks run in this process: the loopback engine owns all of them, the
+// rendezvous engine exactly one.
+func newTMachine(n int, lim Limits, gobWire bool, locals func(rank int) bool) *tMachine {
+	m := &tMachine{n: n, lim: lim, gobWire: gobWire, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n), lost: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		if locals(i) {
+			m.boxes[i] = newMailbox()
+			m.peers[i] = make([]*tPeer, n)
+		}
+	}
+	return m
+}
+
+// tPeer is one directed view of a connection: the socket plus a reusable
+// frame-encoding buffer, guarded by a mutex. nil for self. dead marks a
+// stream that failed mid-write — a partial frame may be on the wire, so
+// the connection must never carry another send.
 type tPeer struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	buf  []byte
+	dead bool
 }
 
-func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
-	m := &tMachine{n: n, lim: lim, boxes: make([]*mailbox, n), peers: make([][]*tPeer, n), lost: make([]bool, n)}
-	for i := 0; i < n; i++ {
-		m.boxes[i] = newMailbox()
-		m.peers[i] = make([]*tPeer, n)
-	}
+func runTCP(ctx context.Context, n int, lim Limits, gobWire bool, fn func(Comm) error) error {
+	m := newTMachine(n, lim, gobWire, func(int) bool { return true })
 	// Cancellation rides the abort machinery: blocked mailbox waits are
 	// released with an error wrapping ctx.Err(); unblocked ranks fail at
 	// their next Send/Recv. A Send stalled inside a socket write is
@@ -58,7 +74,7 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 	defer stop()
 
 	// Every rank listens; rank i dials every j > i and introduces itself
-	// with a one-int handshake.
+	// with a framed hello.
 	listeners := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -83,6 +99,9 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 		closeListeners(listeners)
 	}
 	// Accept side: rank j accepts n-1-j connections (from every i < j).
+	// The hello read is bounded by the handshake timeout, so a dialer
+	// that connects and then goes silent fails the setup instead of
+	// parking this goroutine forever.
 	for j := 1; j < n; j++ {
 		wgConn.Add(1)
 		go func(j int) {
@@ -93,12 +112,13 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 					fail(fmt.Errorf("mp: accept on rank %d: %w", j, err))
 					return
 				}
-				var peerRank int
-				if err := gob.NewDecoder(conn).Decode(&peerRank); err != nil {
+				h, err := recvHello(conn, m.lim.handshakeTimeout())
+				if err != nil {
+					conn.Close()
 					fail(fmt.Errorf("mp: handshake on rank %d: %w", j, err))
 					return
 				}
-				registerConn(m, j, peerRank, conn)
+				registerConn(m, j, h.Rank, conn)
 			}
 		}(j)
 	}
@@ -113,7 +133,8 @@ func runTCP(ctx context.Context, n int, lim Limits, fn func(Comm) error) error {
 					fail(fmt.Errorf("mp: dial %d->%d: %w", i, j, err))
 					return
 				}
-				if err := gob.NewEncoder(conn).Encode(i); err != nil {
+				if err := sendHello(conn, i, "", m.lim.handshakeTimeout()); err != nil {
+					conn.Close()
 					fail(fmt.Errorf("mp: handshake %d->%d: %w", i, j, err))
 					return
 				}
@@ -190,26 +211,48 @@ func closeListeners(ls []net.Listener) {
 func registerConn(m *tMachine, owner, peer int, conn net.Conn) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.peers[owner][peer] = &tPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	m.peers[owner][peer] = &tPeer{conn: conn}
 }
 
-// readLoop decodes envelopes arriving on conn for the given local rank.
-// A mid-run decode failure means the peer's endpoint died, so the peer is
-// marked lost and every blocked rank is released with ErrRankLost.
+// readLoop decodes frames arriving on conn for the given local rank. A
+// mid-run read or decode failure means the peer's endpoint died, so the
+// peer is marked lost and every blocked rank is released with
+// ErrRankLost. That includes a clean EOF: closing is always set before
+// any orderly teardown closes a connection (closeAll here, and across
+// processes barrier #2 of the shutdown protocol proves every rank is
+// marked before any closes), so an EOF while not closing is a peer that
+// went away mid-run — exactly how a failed peer process looks, since its
+// own closeAll sends a clean FIN. After an abort, arriving envelopes are
+// dropped instead of queued: nothing will ever drain the mailbox again,
+// so appending would only grow the queue unboundedly while the run
+// unwinds.
 func (m *tMachine) readLoop(rank, peer int, conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	r := bufio.NewReader(conn)
+	var scratch []byte
 	for {
-		var env wireEnv
-		if err := dec.Decode(&env); err != nil {
-			if err != io.EOF && !m.isClosing() && m.abortErr() == nil {
+		body, err := readFrame(r, scratch)
+		if err != nil {
+			if !m.isClosing() && m.abortErr() == nil {
 				m.markLost(peer)
 				m.abort(fmt.Errorf("mp: rank %d lost its connection to rank %d (%w): %w", rank, peer, err, ErrRankLost))
 			}
 			return
 		}
+		scratch = body
+		src, tag, v, err := decodeFrameBody(body)
+		if err != nil {
+			if !m.isClosing() && m.abortErr() == nil {
+				m.markLost(peer)
+				m.abort(fmt.Errorf("mp: rank %d: corrupt frame from rank %d (%w): %w", rank, peer, err, ErrRankLost))
+			}
+			return
+		}
+		if m.abortErr() != nil {
+			continue // drain the socket, but keep the dead run's queue bounded
+		}
 		b := m.boxes[rank]
 		b.mu.Lock()
-		b.queue = append(b.queue, envelope{src: env.Src, tag: env.Tag, v: env.V})
+		b.queue = append(b.queue, envelope{src: src, tag: tag, v: v})
 		b.mu.Unlock()
 		b.cond.Broadcast()
 	}
@@ -231,6 +274,14 @@ func (m *tMachine) isClosing() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.closing
+}
+
+// setClosing marks the orderly end of a run before any connection is
+// closed, so readLoops attribute the coming EOFs to teardown, not loss.
+func (m *tMachine) setClosing() {
+	m.mu.Lock()
+	m.closing = true
+	m.mu.Unlock()
 }
 
 // injectCrash makes this rank die from its peers' point of view: it is
@@ -261,7 +312,9 @@ func (m *tMachine) abort(err error) {
 	}
 	m.mu.Unlock()
 	for _, b := range m.boxes {
-		b.cond.Broadcast()
+		if b != nil {
+			b.cond.Broadcast()
+		}
 	}
 }
 
@@ -308,26 +361,57 @@ func (c *tComm) Send(to, tag int, v any) error {
 	p := c.m.peers[c.rank][to]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if d := c.m.lim.SendTimeout; d > 0 {
-		deadline := time.Now().Add(d) //lint:allow nondeterminism transport deadline, never a routing decision
-		p.conn.SetWriteDeadline(deadline)
-		defer p.conn.SetWriteDeadline(time.Time{})
+	if p.dead {
+		// An earlier write on this connection failed partway through; the
+		// stream may hold half a frame, so reusing it would feed the peer
+		// garbage it misattributes. The peer was marked lost then.
+		return fmt.Errorf("mp: send %d->%d: connection already failed: %w", c.rank, to, ErrRankLost)
 	}
-	if err := p.enc.Encode(&wireEnv{Src: c.rank, Tag: tag, V: v}); err != nil { //lint:allow lock-across-blocking per-peer write serialization is the framing invariant; the write deadline set above bounds the stall when SendTimeout is configured
-		// Attribute the failure: a dead peer beats a raw socket error, and
-		// a stalled write past its deadline is a deadline miss.
-		if c.m.isLost(to) || c.m.isLost(c.rank) {
-			return fmt.Errorf("mp: send %d->%d: %w: %w", c.rank, to, err, ErrRankLost)
-		}
-		if ne, ok := err.(net.Error); ok && ne.Timeout() {
-			if c.m.lim.Counters != nil {
-				c.m.lim.Counters.DeadlineMisses.Add(1)
-			}
-			return fmt.Errorf("mp: send %d->%d: write stalled past %v: %w", c.rank, to, c.m.lim.SendTimeout, ErrDeadline)
-		}
+	frame, err := appendFrame(p.buf[:0], c.rank, tag, v, c.m.gobWire) //lint:allow lock-across-blocking encodes into the peer's in-memory scratch buffer; per-peer serialization is the framing invariant
+	if err != nil {
+		// Encoding failed before any byte reached the socket; the stream
+		// is still clean and the connection stays usable.
 		return fmt.Errorf("mp: send %d->%d: %w", c.rank, to, err)
 	}
+	p.buf = frame
+	if d := c.m.lim.SendTimeout; d > 0 {
+		deadline := time.Now().Add(d) //lint:allow nondeterminism transport deadline, never a routing decision
+		if err := p.conn.SetWriteDeadline(deadline); err != nil {
+			// Arming the deadline only fails on a dead socket (e.g. the
+			// peer crashed and closed it); ignoring it would start an
+			// unbounded write.
+			p.dead = true
+			return c.sendFailed(p, to, err)
+		}
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := p.conn.Write(frame); err != nil { //lint:allow lock-across-blocking per-peer write serialization is the framing invariant; the write deadline set above bounds the stall when SendTimeout is configured
+		// Any failed write may have left a partial frame on the wire, so
+		// the connection is dead from here on — never reused.
+		p.dead = true
+		return c.sendFailed(p, to, err)
+	}
 	return nil
+}
+
+// sendFailed attributes a failed send on a now-dead connection: a dead
+// peer beats a raw socket error, and a stalled write past its deadline is
+// a deadline miss. In every case the peer is marked lost — the stream to
+// it cannot carry another frame — unless this rank itself is the one
+// that crashed (then the peer is fine; blaming it would misdirect the
+// survivors' degradation).
+func (c *tComm) sendFailed(p *tPeer, to int, err error) error {
+	if c.m.isLost(to) || c.m.isLost(c.rank) {
+		return fmt.Errorf("mp: send %d->%d: %w: %w", c.rank, to, err, ErrRankLost)
+	}
+	c.m.markLost(to)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		if c.m.lim.Counters != nil {
+			c.m.lim.Counters.DeadlineMisses.Add(1)
+		}
+		return fmt.Errorf("mp: send %d->%d: write stalled past %v: %w", c.rank, to, c.m.lim.SendTimeout, ErrDeadline)
+	}
+	return fmt.Errorf("mp: send %d->%d: %w", c.rank, to, err)
 }
 
 func (c *tComm) Recv(from, tag int) (any, error) {
@@ -339,26 +423,31 @@ func (c *tComm) Recv(from, tag int) (any, error) {
 
 // Barrier gathers a token at rank 0 and releases everyone — all message
 // traffic, so it works identically over sockets.
-func (c *tComm) Barrier() error {
+func (c *tComm) Barrier() error { return c.barrierOn(tagBarrier) }
+
+// barrierOn is the gather/release barrier on an engine-reserved tag; the
+// rendezvous engine's shutdown protocol runs it on tagShutdown so its
+// tokens can never interleave with a user-level barrier's.
+func (c *tComm) barrierOn(tag int) error {
 	if c.m.n == 1 {
 		return nil
 	}
 	if c.rank == 0 {
 		for r := 1; r < c.m.n; r++ {
-			if _, err := c.Recv(r, tagBarrier); err != nil {
+			if _, err := c.Recv(r, tag); err != nil {
 				return err
 			}
 		}
 		for r := 1; r < c.m.n; r++ {
-			if err := c.Send(r, tagBarrier, true); err != nil {
+			if err := c.Send(r, tag, true); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := c.Send(0, tagBarrier, true); err != nil {
+	if err := c.Send(0, tag, true); err != nil {
 		return err
 	}
-	_, err := c.Recv(0, tagBarrier)
+	_, err := c.Recv(0, tag)
 	return err
 }

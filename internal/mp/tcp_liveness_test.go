@@ -1,0 +1,161 @@
+package mp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The regression tests for the TCP engine's liveness fixes drive a
+// two-rank machine over in-memory pipes, so each failure mode (a write
+// stalled past its deadline, a socket that cannot arm a deadline, frames
+// arriving after an abort) can be staged deterministically.
+
+func pipeMachine(t *testing.T, lim Limits, conn net.Conn) (*tMachine, *tComm) {
+	t.Helper()
+	m := newTMachine(2, lim, false, func(int) bool { return true })
+	registerConn(m, 0, 1, conn)
+	return m, &tComm{m: m, rank: 0}
+}
+
+// TestSendDeadlineMarksConnectionDead: a send that timed out mid-write
+// used to keep the connection's encoder, so the next send appended a
+// fresh frame to a stream already holding half of the previous one and
+// the peer misdecoded everything after. The connection must be dead from
+// the first failed write on.
+func TestSendDeadlineMarksConnectionDead(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close() // nothing ever reads b, so writes to a stall
+	counters := &FaultCounters{}
+	m, c := pipeMachine(t, Limits{SendTimeout: 30 * time.Millisecond, Counters: counters}, a)
+
+	err := c.Send(1, 1, 7)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stalled send = %v, want ErrDeadline", err)
+	}
+	if !m.isLost(1) {
+		t.Fatal("timed-out write did not mark the peer lost")
+	}
+	if got := counters.DeadlineMisses.Load(); got != 1 {
+		t.Fatalf("DeadlineMisses = %d, want 1", got)
+	}
+	// Even if the loss marking were cleared, the connection itself must
+	// refuse further sends: a partial frame may sit on the wire.
+	m.mu.Lock()
+	m.lost[1] = false
+	m.mu.Unlock()
+	start := time.Now()
+	err = c.Send(1, 1, 8)
+	if !errors.Is(err, ErrRankLost) || !strings.Contains(err.Error(), "connection already failed") {
+		t.Fatalf("send on a dead connection = %v, want the fast ErrRankLost refusal", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead-connection send took %v; it must fail without touching the socket", elapsed)
+	}
+}
+
+// deadlineFailConn wraps a healthy pipe so arming a write deadline fails
+// while the write itself would still succeed — the shape of a socket
+// that died between sends. Ignoring the arm error would start an
+// unbounded write.
+type deadlineFailConn struct {
+	net.Conn
+	err error
+}
+
+func (c deadlineFailConn) SetWriteDeadline(time.Time) error { return c.err }
+
+// TestSendDeadlineArmFailureFailsSend: SetWriteDeadline errors used to be
+// discarded, silently converting a bounded send into an unbounded one.
+func TestSendDeadlineArmFailureFailsSend(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b) //nolint — drains so the write WOULD succeed if attempted
+	armErr := errors.New("socket gone")
+	m, c := pipeMachine(t, Limits{SendTimeout: time.Second}, deadlineFailConn{Conn: a, err: armErr})
+
+	err := c.Send(1, 1, 7)
+	if err == nil {
+		t.Fatal("send succeeded although its write deadline could not be armed")
+	}
+	if !errors.Is(err, armErr) {
+		t.Fatalf("send = %v, want the SetWriteDeadline error surfaced", err)
+	}
+	if !m.isLost(1) {
+		t.Fatal("unarmable deadline did not mark the peer lost")
+	}
+	if err := c.Send(1, 1, 8); !errors.Is(err, ErrRankLost) {
+		t.Fatalf("send after arm failure = %v, want ErrRankLost", err)
+	}
+}
+
+// TestReadLoopDropsEnvelopesAfterAbort: the read pump used to keep
+// queueing arriving envelopes after an abort, growing a mailbox nothing
+// would ever drain again while the run unwound.
+func TestReadLoopDropsEnvelopesAfterAbort(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	m, _ := pipeMachine(t, Limits{}, a)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.readLoop(0, 1, a)
+	}()
+
+	m.abort(errors.New("boom"))
+	frame, err := appendFrame(nil, 1, 1, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := b.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pipe is synchronous, so every frame has reached the reader; give
+	// the pump a moment to decode the tail, then the queue must be empty.
+	time.Sleep(20 * time.Millisecond)
+	box := m.boxes[0]
+	box.mu.Lock()
+	queued := len(box.queue)
+	box.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("%d envelope(s) queued after abort; the dead run's mailbox must stay bounded", queued)
+	}
+	b.Close()
+	<-done
+}
+
+// TestReadLoopCorruptFrameMarksPeerLost: garbage on a connection is
+// attributed to the peer, releasing blocked ranks with ErrRankLost
+// instead of letting them wait on a stream that can never resynchronize.
+func TestReadLoopCorruptFrameMarksPeerLost(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	m, _ := pipeMachine(t, Limits{}, a)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.readLoop(0, 1, a)
+	}()
+
+	// A length-prefixed frame whose body is not a decodable envelope.
+	junk := AppendUint32(nil, 3)
+	junk = append(junk, 0xFF, 0xFF, 0xFF)
+	if _, err := b.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !m.isLost(1) {
+		t.Fatal("corrupt frame did not mark the peer lost")
+	}
+	if err := m.abortErr(); !errors.Is(err, ErrRankLost) {
+		t.Fatalf("abort error = %v, want ErrRankLost", err)
+	}
+}

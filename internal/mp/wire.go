@@ -220,13 +220,7 @@ func AppendAny(buf []byte, v any) ([]byte, error) {
 		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 		return buf, nil
 	}
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(&wireEnv{V: v}); err != nil {
-		return nil, fmt.Errorf("mp: AppendAny: %w", err)
-	}
-	buf = AppendUint32(buf, gobWireID)
-	buf = AppendUint32(buf, uint32(body.Len()))
-	return append(buf, body.Bytes()...), nil
+	return appendAnyGob(buf, v)
 }
 
 // WireAny consumes an interface value written by AppendAny.

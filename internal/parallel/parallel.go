@@ -92,6 +92,16 @@ type Options struct {
 	// injection (see mp.Chaos). The result carries the fault tallies; if
 	// the plan kills a rank, Run degrades to the serial algorithm.
 	Chaos *mp.Plan
+	// Dist, when non-nil, places this process at one rank of a
+	// multi-process TCP mesh (see mp.NetConfig); requires Mode == mp.TCP
+	// and Dist.Ranks == Procs. Run then executes only this process's
+	// rank: rank 0 gathers and returns the merged result, every other
+	// rank returns (nil, nil) once its worker finishes.
+	Dist *mp.NetConfig
+	// GobWire forces TCP frame payloads through the gob fallback instead
+	// of the generated flat codecs — the benchmark baseline that
+	// isolates what the codecs buy (see mp.Config.GobWire).
+	GobWire bool
 	// Limits bounds per-message waits on the real-time engines.
 	Limits mp.Limits
 	// Observers join every worker's pipeline session (and the serial
@@ -152,8 +162,11 @@ func Run(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Result,
 		return nil, err
 	}
 
+	if opt.Dist != nil && opt.Dist.Ranks != opt.Procs {
+		return nil, fmt.Errorf("parallel: Dist.Ranks %d must equal Procs %d", opt.Dist.Ranks, opt.Procs)
+	}
 	out := &runOutput{}
-	cfg := mp.Config{Procs: opt.Procs, Mode: opt.Mode, Model: opt.Model, Limits: opt.Limits, Chaos: opt.Chaos}
+	cfg := mp.Config{Procs: opt.Procs, Mode: opt.Mode, Model: opt.Model, Limits: opt.Limits, Chaos: opt.Chaos, Net: opt.Dist, GobWire: opt.GobWire}
 	var worker func(mp.Comm) error
 	switch opt.Algo {
 	case RowWise:
@@ -174,13 +187,19 @@ func Run(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Result,
 		opt.onEngine(eng)
 	}
 	elapsed, err := eng.Run(ctx, opt.Procs, worker)
+	workerRank := opt.Dist != nil && opt.Dist.Rank != 0
 	if err != nil {
-		if errors.Is(err, mp.ErrRankLost) && ctx.Err() == nil {
+		if errors.Is(err, mp.ErrRankLost) && ctx.Err() == nil && !workerRank {
 			// Graceful degradation: a rank died mid-phase; the parallel
-			// result is unrecoverable, so rank 0 reroutes serially.
+			// result is unrecoverable, so rank 0 reroutes serially. A
+			// non-zero dist rank just reports the loss — the result
+			// lives with rank 0's process.
 			return degrade(ctx, c, opt, chaos, err)
 		}
 		return nil, err
+	}
+	if workerRank {
+		return nil, nil // only rank 0 gathers; this process's work is done
 	}
 	if out.raw == nil {
 		return nil, fmt.Errorf("parallel: run completed without a result")

@@ -159,6 +159,59 @@ func (r *Run) Options() (parallel.Options, error) {
 	return opts, nil
 }
 
+// Dist is the multi-process placement of a run: the rendezvous address a
+// TCP mesh forms on and which rank this process plays (see mp.NetConfig).
+// The zero value — no Addr — is the ordinary single-process run. These
+// flags are registered only by cmd/twgr through AddDistFlags: the daemon
+// owns -addr for its HTTP listener and serves whole jobs, not ranks.
+type Dist struct {
+	Addr  string // rendezvous address; "" = single-process run
+	Rank  int    // this process's rank in [0, Ranks)
+	Ranks int    // total number of cooperating processes
+}
+
+// AddDistFlags registers the multi-process placement flags on fs.
+func AddDistFlags(fs *flag.FlagSet, d *Dist) {
+	fs.StringVar(&d.Addr, "addr", d.Addr, "rendezvous address of a multi-process TCP mesh, e.g. 127.0.0.1:9300 (rank 0 binds it, the other ranks dial it)")
+	fs.IntVar(&d.Rank, "rank", d.Rank, "this process's rank in the multi-process mesh")
+	fs.IntVar(&d.Ranks, "ranks", d.Ranks, "total number of processes in the multi-process mesh")
+}
+
+// Apply folds the placement into already-resolved options. With no Addr
+// it only rejects stray -rank/-ranks; with one it requires the TCP
+// engine and a parallel algorithm, reconciles -p with -ranks (the
+// default -p 1 inherits -ranks, since each process runs one worker), and
+// sets parallel.Options.Dist.
+func (d *Dist) Apply(r *Run, opts *parallel.Options) error {
+	if d.Addr == "" {
+		if d.Rank != 0 || d.Ranks != 0 {
+			return fmt.Errorf("runcfg: -rank/-ranks need -addr")
+		}
+		return nil
+	}
+	if r.Serial() {
+		return fmt.Errorf("runcfg: a multi-process mesh routes with a parallel algorithm; -algo serial runs alone")
+	}
+	if r.Engine != "tcp" {
+		return fmt.Errorf("runcfg: -addr needs -engine tcp, got %q", r.Engine)
+	}
+	if d.Ranks < 1 {
+		return fmt.Errorf("runcfg: -ranks must be at least 1, got %d", d.Ranks)
+	}
+	if d.Rank < 0 || d.Rank >= d.Ranks {
+		return fmt.Errorf("runcfg: -rank %d out of [0, %d)", d.Rank, d.Ranks)
+	}
+	switch opts.Procs {
+	case d.Ranks:
+	case 1:
+		opts.Procs = d.Ranks
+	default:
+		return fmt.Errorf("runcfg: -p %d conflicts with -ranks %d (each process runs one worker)", opts.Procs, d.Ranks)
+	}
+	opts.Dist = &mp.NetConfig{Rank: d.Rank, Ranks: d.Ranks, Addr: d.Addr}
+	return nil
+}
+
 // Circuit selects the circuit of a run: a named preset (generated with
 // GenSeed) or a gensc JSON file. Exactly one of Preset and In must be
 // set.

@@ -77,6 +77,93 @@ func TestFlagsCoverEveryRunField(t *testing.T) {
 	}
 }
 
+// TestDistFlagTable pins the multi-process placement flags cmd/twgr
+// registers on top of the shared table. They are deliberately not in
+// AddFlags: cmd/twgrd owns -addr for its HTTP listener, so folding these
+// into the shared vocabulary would collide the two binaries.
+func TestDistFlagTable(t *testing.T) {
+	var d Dist
+	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
+	AddDistFlags(fs, &d)
+
+	want := []flagRow{
+		{"addr", "", "rendezvous address of a multi-process TCP mesh, e.g. 127.0.0.1:9300 (rank 0 binds it, the other ranks dial it)"},
+		{"rank", "0", "this process's rank in the multi-process mesh"},
+		{"ranks", "0", "total number of processes in the multi-process mesh"},
+	}
+	if got := tableOf(fs); !reflect.DeepEqual(got, want) {
+		t.Errorf("dist flag table drifted:\n got %v\nwant %v", got, want)
+	}
+
+	n := 0
+	fs.VisitAll(func(*flag.Flag) { n++ })
+	if fields := reflect.TypeOf(d).NumField(); n != fields {
+		t.Errorf("AddDistFlags registers %d flags for %d Dist fields", n, fields)
+	}
+}
+
+// TestDistApply: the placement → parallel.Options.Dist resolution and
+// every rejection case (wrong engine, serial run, rank out of range,
+// -p/-ranks conflicts).
+func TestDistApply(t *testing.T) {
+	resolve := func(r Run, d Dist) (parallel.Options, error) {
+		opts, err := r.Options()
+		if err != nil {
+			t.Fatalf("options: %v", err)
+		}
+		return opts, d.Apply(&r, &opts)
+	}
+
+	// Zero value: a no-op.
+	r := Default()
+	if _, err := resolve(r, Dist{}); err != nil {
+		t.Errorf("zero dist rejected: %v", err)
+	}
+
+	// The two-terminal shape: -algo hybrid -engine tcp -addr ... -rank r -ranks 2.
+	r = Default()
+	r.Algo = "hybrid"
+	r.Engine = "tcp"
+	opts, err := resolve(r, Dist{Addr: "127.0.0.1:9300", Rank: 1, Ranks: 2})
+	if err != nil {
+		t.Fatalf("dist apply: %v", err)
+	}
+	if opts.Dist == nil || opts.Dist.Rank != 1 || opts.Dist.Ranks != 2 || opts.Dist.Addr != "127.0.0.1:9300" {
+		t.Errorf("dist not carried: %+v", opts.Dist)
+	}
+	if opts.Procs != 2 {
+		t.Errorf("default -p 1 should inherit -ranks 2, got Procs %d", opts.Procs)
+	}
+
+	// Explicit matching -p is accepted.
+	r.Procs = 2
+	if opts, err = resolve(r, Dist{Addr: "127.0.0.1:9300", Rank: 0, Ranks: 2}); err != nil || opts.Procs != 2 {
+		t.Errorf("matching -p rejected: %v (procs %d)", err, opts.Procs)
+	}
+
+	rejects := []struct {
+		name string
+		mut  func(*Run)
+		d    Dist
+	}{
+		{"rank/ranks without addr", func(r *Run) {}, Dist{Ranks: 2}},
+		{"serial run", func(r *Run) { r.Algo = AlgoSerial }, Dist{Addr: "x:1", Ranks: 2}},
+		{"non-tcp engine", func(r *Run) { r.Engine = "inproc" }, Dist{Addr: "x:1", Ranks: 2}},
+		{"ranks zero", func(r *Run) {}, Dist{Addr: "x:1", Ranks: 0}},
+		{"rank out of range", func(r *Run) {}, Dist{Addr: "x:1", Rank: 2, Ranks: 2}},
+		{"p/ranks conflict", func(r *Run) { r.Procs = 3 }, Dist{Addr: "x:1", Ranks: 2}},
+	}
+	for _, tc := range rejects {
+		r := Default()
+		r.Algo = "hybrid"
+		r.Engine = "tcp"
+		tc.mut(&r)
+		if _, err := resolve(r, tc.d); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
 // TestOptionsResolution checks the flag-value → parallel.Options mapping
 // that used to live inline in cmd/twgr: engines, platforms, partitions,
 // chaos plans, and every rejection case.

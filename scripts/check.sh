@@ -58,15 +58,22 @@ step "go test -race ./..." go test -race -skip 'TestServiceSoak' ./...
 # Codec fuzz smoke: the generated wire codecs must decode whatever they
 # encode and re-encode it byte-identically (the canonical-encoding
 # invariant the manifest prices depend on), under the race detector.
+# FuzzFrame drives the socket framing the multi-process TCP engine puts
+# those codecs on: arbitrary byte streams must decode-or-reject, never
+# panic, and accepted frames must re-encode canonically.
 fuzz_smoke() {
   go test -race -run '^$' -fuzz '^FuzzCodec$' -fuzztime 3s ./internal/parallel &&
-    go test -race -run '^$' -fuzz '^FuzzAnyCodec$' -fuzztime 3s ./internal/mp
+    go test -race -run '^$' -fuzz '^FuzzAnyCodec$' -fuzztime 3s ./internal/mp &&
+    go test -race -run '^$' -fuzz '^FuzzFrame$' -fuzztime 3s ./internal/mp
 }
 step "codec fuzz smoke" fuzz_smoke
 
 # Chaos tier: the fault-injection soak (drop/delay/dup/reorder plans must
 # leave routing metrics byte-identical; crashes must degrade, not hang)
 # under the race detector, twice, with two fixed fault-schedule seeds.
+# The Chaos|Crash pattern also picks up the framed-TCP mesh tests
+# (TestNetChaosCrashSeenAcrossProcesses, TestDistChaosCrashDegradesAt-
+# RankZero), so each seed soaks crash attribution across real sockets.
 chaos_soak() {
   CHAOS_SEED="$1" go test -race -count=2 -run 'Chaos|Crash' \
     ./internal/mp ./internal/parallel
@@ -103,6 +110,7 @@ bench_smoke() {
 }
 step "bench smoke (serial route)" bench_smoke
 step "perf baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR4.json
+step "framed-wire baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR9.json
 
 # Trace smoke: `twgr -trace` emits a timeline that `-checktrace` accepts,
 # for both the live serial recorder and the merged parallel phases (see
