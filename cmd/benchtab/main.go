@@ -45,6 +45,7 @@ func main() {
 		seeds     = flag.Int("seeds", 0, "for -table 2/3/4: report mean [min-max] over this many seeds")
 		circuits  = flag.String("circuits", "", "comma-separated circuit subset")
 		procs     = flag.String("procs", "1,2,4,8", "comma-separated worker counts")
+		workers   = flag.String("workers", "1", "comma-separated intra-rank route worker counts for the serial scale points")
 		jsonOut   = flag.String("json", "", "write a machine-readable perf report to this path")
 		tcpJSON   = flag.String("tcpjson", "", "write a framed-vs-gob TCP wire comparison to this path")
 		label     = flag.String("label", "", "label stored in the -json report")
@@ -70,6 +71,13 @@ func main() {
 			fatalf("bad -procs value %q: %v", tok, err)
 		}
 		cfg.Procs = append(cfg.Procs, p)
+	}
+	for _, tok := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fatalf("bad -workers value %q: %v", tok, err)
+		}
+		cfg.Workers = append(cfg.Workers, w)
 	}
 	s := bench.NewSuite(cfg)
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	twgrd -addr :8745                          # defaults: 4 workers, queue 64
-//	twgrd -addr :8745 -workers 8 -queue 256 -cache 1024
+//	twgrd -addr :8745 -jobs 8 -queue 256 -cache 1024
 //	twgrd -algo hybrid -p 4 -timeout 30s       # per-job defaults (shared flag set with twgr)
 //
 // Submit a job (see internal/service for the envelope format):
@@ -40,7 +40,7 @@ func main() {
 	runcfg.AddFlags(flag.CommandLine, &defaults)
 	var (
 		addr    = flag.String("addr", "localhost:8745", "listen address")
-		workers = flag.Int("workers", 4, "worker-pool size (concurrent routing jobs)")
+		jobs    = flag.Int("jobs", 4, "worker-pool size (concurrent routing jobs)")
 		queue   = flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
 		cache   = flag.Int("cache", 256, "result-cache entries")
 		genSeed = flag.Uint64("gen-seed", 7, "preset generation seed jobs inherit by default")
@@ -53,7 +53,7 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:      *workers,
+		Workers:      *jobs,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		Defaults:     defaults,
@@ -74,7 +74,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("twgrd: listening on %s (%d workers, queue %d, cache %d)\n", *addr, *workers, *queue, *cache)
+	fmt.Printf("twgrd: listening on %s (%d job workers, queue %d, cache %d)\n", *addr, *jobs, *queue, *cache)
 
 	select {
 	case err := <-errc:

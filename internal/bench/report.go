@@ -45,6 +45,7 @@ type Snapshot struct {
 	Reps      int      `json:"reps"`
 	Circuits  []string `json:"circuits"`
 	Procs     []int    `json:"procs"`
+	Workers   []int    `json:"workers,omitempty"`
 
 	Serial   []SerialRun   `json:"serial"`
 	Parallel []ParallelRun `json:"parallel"`
@@ -54,7 +55,11 @@ type Snapshot struct {
 // of Reps runs; the phase split comes from that run. AllocsPerOp and
 // BytesPerOp are the heap figures of one full pipeline run.
 type SerialRun struct {
-	Circuit     string    `json:"circuit"`
+	Circuit string `json:"circuit"`
+	// Workers is the intra-rank route worker count of this measurement;
+	// 0 or 1 is the canonical single-worker serial run (the speedup
+	// denominator and the row the baseline comparison uses).
+	Workers     int       `json:"workers,omitempty"`
 	ElapsedNS   int64     `json:"elapsedNs"`
 	Phases      []PhaseNS `json:"phases,omitempty"`
 	AllocsPerOp int64     `json:"allocsPerOp"`
@@ -117,6 +122,9 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 		Circuits:  cfg.Circuits,
 		Procs:     cfg.Procs,
 	}
+	if len(cfg.Workers) != 1 || cfg.Workers[0] != 1 {
+		snap.Workers = cfg.Workers
+	}
 
 	for _, name := range cfg.Circuits {
 		base, err := s.Baseline(name)
@@ -141,6 +149,36 @@ func CollectSnapshot(cfg Config) (*Snapshot, error) {
 		}
 		run.Phases = phasesNS(base.Phases)
 		snap.Serial = append(snap.Serial, run)
+
+		// Extra serial scale points: the same pipeline at higher intra-rank
+		// worker counts. Output is byte-identical (the tracks/area fields
+		// repeat), only wall-clock moves.
+		for _, w := range cfg.Workers {
+			if w <= 1 {
+				continue
+			}
+			var best *metrics.Result
+			for rep := 0; rep < cfg.Reps; rep++ {
+				runtime.GC()
+				r, err := parallel.RunBaseline(context.Background(), c, parallel.Options{
+					Procs: 1, Route: route.Options{Seed: cfg.Seed + 1, Workers: w},
+				})
+				if err != nil {
+					return nil, err
+				}
+				if best == nil || r.Elapsed < best.Elapsed {
+					best = r
+				}
+			}
+			snap.Serial = append(snap.Serial, SerialRun{
+				Circuit:     name,
+				Workers:     w,
+				ElapsedNS:   best.Elapsed.Nanoseconds(),
+				TotalTracks: best.TotalTracks,
+				Area:        best.Area,
+				Phases:      phasesNS(best.Phases),
+			})
+		}
 
 		for _, procs := range cfg.Procs {
 			if procs <= 1 {
@@ -203,14 +241,21 @@ func BuildReport(prev *Report, snap Snapshot, label string) *Report {
 }
 
 // serialSpeedup is the mean over matching circuits of baseline elapsed
-// divided by current elapsed.
+// divided by current elapsed, comparing only the canonical single-worker
+// rows (multi-worker scale points are wall-clock extras, not the
+// trajectory the baseline pins).
 func serialSpeedup(base *Snapshot, cur *Snapshot) float64 {
 	byName := make(map[string]int64, len(base.Serial))
 	for _, r := range base.Serial {
-		byName[r.Circuit] = r.ElapsedNS
+		if r.Workers <= 1 {
+			byName[r.Circuit] = r.ElapsedNS
+		}
 	}
 	var ratios []float64
 	for _, r := range cur.Serial {
+		if r.Workers > 1 {
+			continue
+		}
 		if b, ok := byName[r.Circuit]; ok && r.ElapsedNS > 0 {
 			ratios = append(ratios, float64(b)/float64(r.ElapsedNS))
 		}

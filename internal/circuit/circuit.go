@@ -123,7 +123,9 @@ type Circuit struct {
 	// fakeByRow indexes fake pins by row so feedthrough insertion can
 	// shift them along with the row's cells. (The paper keeps fake pins
 	// frozen; see DESIGN.md for why this reproduction tracks the shift.)
-	fakeByRow map[int][]int
+	// Indexed by row, grown on first fake pin; most circuits (and every
+	// serial run) never allocate it.
+	fakeByRow [][]int
 }
 
 // NumChannels returns the number of routing channels (rows + 1).
@@ -202,8 +204,8 @@ func (c *Circuit) AddFakePin(netID, x, row int, side Side) int {
 	if netID != NoNet {
 		c.Nets[netID].Pins = append(c.Nets[netID].Pins, id)
 	}
-	if c.fakeByRow == nil {
-		c.fakeByRow = make(map[int][]int)
+	for len(c.fakeByRow) <= row {
+		c.fakeByRow = append(c.fakeByRow, nil)
 	}
 	c.fakeByRow[row] = append(c.fakeByRow[row], id)
 	return id
@@ -269,9 +271,11 @@ func (c *Circuit) InsertFeedthroughDeferred(r, x, netID int) int {
 	for _, cid := range row.Cells[idx+1:] {
 		c.Cells[cid].X += c.FeedWidth
 	}
-	for _, pid := range c.fakeByRow[r] {
-		if c.Pins[pid].X >= at {
-			c.Pins[pid].X += c.FeedWidth
+	if r < len(c.fakeByRow) {
+		for _, pid := range c.fakeByRow[r] {
+			if c.Pins[pid].X >= at {
+				c.Pins[pid].X += c.FeedWidth
+			}
 		}
 	}
 
@@ -392,9 +396,11 @@ func (c *Circuit) Clone() *Circuit {
 	copy(out.Cells, c.Cells)
 	copy(out.Pins, c.Pins)
 	if c.fakeByRow != nil {
-		out.fakeByRow = make(map[int][]int, len(c.fakeByRow))
+		out.fakeByRow = make([][]int, len(c.fakeByRow))
 		for row, ids := range c.fakeByRow {
-			out.fakeByRow[row] = append([]int(nil), ids...)
+			if ids != nil {
+				out.fakeByRow[row] = append([]int(nil), ids...)
+			}
 		}
 	}
 	// Shared backing arrays keep the clone at a handful of allocations —

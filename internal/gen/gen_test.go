@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"parroute/internal/circuit"
@@ -183,12 +184,75 @@ func TestSmallAndTiny(t *testing.T) {
 
 func TestAllNamesSorted(t *testing.T) {
 	names := AllNames()
-	if len(names) != 6 {
-		t.Fatalf("expected 6 presets, got %d", len(names))
+	if len(names) != 8 {
+		t.Fatalf("expected 8 presets, got %d", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Fatalf("names not sorted: %v", names)
 		}
+	}
+}
+
+// TestCircuitNamesOrder pins the paper's Table 1 order and that the
+// synthetic scale presets stay out of the default benchmark set — code
+// that defaults to CircuitNames must never route a million cells by
+// accident.
+func TestCircuitNamesOrder(t *testing.T) {
+	want := []string{"primary2", "biomed", "industry2", "industry3", "avq.small", "avq.large"}
+	got := CircuitNames()
+	if len(got) != len(want) {
+		t.Fatalf("CircuitNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CircuitNames = %v, want %v", got, want)
+		}
+	}
+	for _, s := range ScaleNames() {
+		for _, n := range got {
+			if n == s {
+				t.Fatalf("scale preset %q leaked into CircuitNames", s)
+			}
+		}
+		if _, err := Preset(s); err != nil {
+			t.Fatalf("scale preset %q not registered: %v", s, err)
+		}
+	}
+}
+
+// TestScalePresetsGenerateValidCircuits mirrors the MCNC stats test for
+// the synthetic scale presets. synth.100k runs except under -short;
+// synth.1m generates a million cells and is opt-in via SCALE_1M=1.
+func TestScalePresetsGenerateValidCircuits(t *testing.T) {
+	for _, name := range ScaleNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() {
+				t.Skipf("skipping %s in -short mode", name)
+			}
+			if name == "synth.1m" && os.Getenv("SCALE_1M") == "" {
+				t.Skip("set SCALE_1M=1 to generate the million-cell preset")
+			}
+			cfg, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Seed = 1
+			c, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("invalid circuit: %v", err)
+			}
+			s := c.ComputeStats()
+			if s.Rows != cfg.Rows || s.Cells != cfg.Cells || s.Nets != cfg.Nets {
+				t.Fatalf("stats %+v do not match preset %+v", s, cfg)
+			}
+			if math.Abs(float64(s.Pins-cfg.TargetPins)) > 0.1*float64(cfg.TargetPins) {
+				t.Fatalf("pins = %d, target %d", s.Pins, cfg.TargetPins)
+			}
+		})
 	}
 }

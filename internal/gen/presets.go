@@ -34,11 +34,36 @@ var presets = map[string]Config{
 		Name: "avq.large", Rows: 86, Cells: 25178, Nets: 25384, TargetPins: 82751,
 		GiantNets: []int{2300, 940, 510, 260},
 	},
+
+	// The synth.* presets extrapolate the MCNC statistics to modern design
+	// sizes (they are not in the paper — see DESIGN.md §15). Row counts
+	// grow roughly with the square root of cell count so the core keeps a
+	// plausible aspect ratio; pins per net, locality and the clock-net
+	// heavy tail follow avq.large. They back the scale smoke tiers and the
+	// BENCH_PR10 scale points, and are deliberately NOT in CircuitNames:
+	// default benchmark sweeps stay at the paper's sizes.
+	"synth.100k": {
+		Name: "synth.100k", Rows: 180, Cells: 100_000, Nets: 101_000, TargetPins: 333_000,
+		GiantNets: []int{5200, 2100, 1000, 520},
+	},
+	"synth.1m": {
+		Name: "synth.1m", Rows: 560, Cells: 1_000_000, Nets: 1_010_000, TargetPins: 3_330_000,
+		GiantNets: []int{21_000, 8_400, 4_100, 2_050, 1_020},
+	},
 }
 
 // CircuitNames returns the preset names in the paper's Table 1 order.
+// The synthetic scale presets are excluded on purpose: everything that
+// defaults to "the benchmark circuits" (bench sweeps, examples) routes
+// the paper's six, and million-cell runs are always an explicit opt-in
+// via ScaleNames or a preset name.
 func CircuitNames() []string {
 	return []string{"primary2", "biomed", "industry2", "industry3", "avq.small", "avq.large"}
+}
+
+// ScaleNames returns the synthetic scale presets, smallest first.
+func ScaleNames() []string {
+	return []string{"synth.100k", "synth.1m"}
 }
 
 // AllNames returns every preset name, sorted.

@@ -7,6 +7,12 @@
 // plain counters, so grids from different workers can be summed — that is
 // exactly the synchronization the net-wise parallel algorithm performs.
 //
+// The counters are sharded into row-band slabs (bandSize channels or rows
+// per slab) that are allocated lazily on first write. A parallel rank whose
+// sub-circuit only populates its own row block therefore pays for its band
+// of the grid, not the whole design — the difference between O(rows) and
+// O(rows/p) peak grid memory at million-cell scale.
+//
 // Cost queries use the standard incremental sum-of-squares congestion
 // proxy: adding a wire to a column of density d costs 2d+1 (the increase of
 // d^2), so minimizing total cost approximately minimizes peak density.
@@ -20,6 +26,11 @@ import (
 	"parroute/internal/geom"
 )
 
+// bandShift sets the slab granularity: 1<<bandShift channels (or rows) per
+// lazily allocated band. A package constant so grids of equal shape always
+// have aligned bands, letting AddFrom/SubFrom merge slab-wise.
+const bandShift = 3
+
 // Grid holds channel-density and feedthrough-demand counters.
 type Grid struct {
 	Rows     int // cell rows
@@ -27,10 +38,14 @@ type Grid struct {
 	Cols     int
 	ColWidth int
 
-	// Dens[ch*Cols+col] counts horizontal runs of channel ch over column
-	// col; Ft[row*Cols+col] counts vertical runs through row at col.
-	Dens []int32
-	Ft   []int32
+	// dens[b] holds, channel-major, the per-column horizontal-run counts
+	// of channels [b<<bandShift, (b+1)<<bandShift); ft[b] holds the
+	// per-column vertical-run counts of the corresponding rows. A nil slab
+	// means no counter in the band was ever written; reads resolve to the
+	// shared zero row.
+	dens [][]int32
+	ft   [][]int32
+	zero []int32
 }
 
 // New returns an empty grid for a core of the given width and row count.
@@ -50,9 +65,93 @@ func New(rows, coreWidth, colWidth int) *Grid {
 	}
 	return &Grid{
 		Rows: rows, Channels: rows + 1, Cols: cols, ColWidth: colWidth,
-		Dens: make([]int32, (rows+1)*cols),
-		Ft:   make([]int32, rows*cols),
+		dens: make([][]int32, bandsFor(rows+1)),
+		ft:   make([][]int32, bandsFor(rows)),
+		zero: make([]int32, cols),
 	}
+}
+
+// FromCounts builds a grid from flat channel-major density and row-major
+// feedthrough counters, the payload shape DensCounts and FtCounts produce
+// and the net-wise allreduce ships between ranks. The counters cross the
+// transport, so a length mismatch is a data error, not a panic. All-zero
+// bands stay unallocated.
+func FromCounts(rows, cols, colWidth int, dens, ft []int32) (*Grid, error) {
+	g := New(rows, cols*colWidth, colWidth)
+	if g.Cols != cols {
+		return nil, fmt.Errorf("grid: %d columns of width %d do not round-trip", cols, colWidth)
+	}
+	if len(dens) != (rows+1)*cols || len(ft) != rows*cols {
+		return nil, fmt.Errorf("grid: counter lengths %d/%d, want %d/%d",
+			len(dens), len(ft), (rows+1)*cols, rows*cols)
+	}
+	for ch := 0; ch < g.Channels; ch++ {
+		if seg := dens[ch*cols : (ch+1)*cols]; !allZero(seg) {
+			copy(g.densRowMut(ch), seg)
+		}
+	}
+	for row := 0; row < rows; row++ {
+		if seg := ft[row*cols : (row+1)*cols]; !allZero(seg) {
+			copy(g.ftRowMut(row), seg)
+		}
+	}
+	return g, nil
+}
+
+func bandsFor(n int) int { return (n + 1<<bandShift - 1) >> bandShift }
+
+func allZero(s []int32) bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// densRow returns channel ch's column counts for reading; untouched bands
+// resolve to the shared zero row. Callers must not write through it.
+func (g *Grid) densRow(ch int) []int32 {
+	if s := g.dens[ch>>bandShift]; s != nil {
+		off := (ch & (1<<bandShift - 1)) * g.Cols
+		return s[off : off+g.Cols : off+g.Cols]
+	}
+	return g.zero
+}
+
+// densRowMut returns channel ch's column counts for writing, allocating
+// the band slab on first touch.
+func (g *Grid) densRowMut(ch int) []int32 {
+	b := ch >> bandShift
+	s := g.dens[b]
+	if s == nil {
+		n := geom.Min(g.Channels-b<<bandShift, 1<<bandShift)
+		s = make([]int32, n*g.Cols)
+		g.dens[b] = s
+	}
+	off := (ch & (1<<bandShift - 1)) * g.Cols
+	return s[off : off+g.Cols : off+g.Cols]
+}
+
+// ftRow and ftRowMut are densRow/densRowMut for the feedthrough counters.
+func (g *Grid) ftRow(row int) []int32 {
+	if s := g.ft[row>>bandShift]; s != nil {
+		off := (row & (1<<bandShift - 1)) * g.Cols
+		return s[off : off+g.Cols : off+g.Cols]
+	}
+	return g.zero
+}
+
+func (g *Grid) ftRowMut(row int) []int32 {
+	b := row >> bandShift
+	s := g.ft[b]
+	if s == nil {
+		n := geom.Min(g.Rows-b<<bandShift, 1<<bandShift)
+		s = make([]int32, n*g.Cols)
+		g.ft[b] = s
+	}
+	off := (row & (1<<bandShift - 1)) * g.Cols
+	return s[off : off+g.Cols : off+g.Cols]
 }
 
 // ColOf maps an x coordinate to its column, clamping out-of-core values.
@@ -83,9 +182,9 @@ func (g *Grid) AddHoriz(ch int, iv geom.Interval, delta int32) {
 		return
 	}
 	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
-	base := ch * g.Cols
+	row := g.densRowMut(ch)
 	for col := lo; col <= hi; col++ {
-		g.Dens[base+col] += delta
+		row[col] += delta
 	}
 }
 
@@ -94,7 +193,7 @@ func (g *Grid) AddHoriz(ch int, iv geom.Interval, delta int32) {
 func (g *Grid) AddVert(rowLo, rowHi, col int, delta int32) {
 	col = g.clampCol(col)
 	for row := rowLo; row <= rowHi; row++ {
-		g.Ft[row*g.Cols+col] += delta
+		g.ftRowMut(row)[col] += delta
 	}
 }
 
@@ -105,10 +204,10 @@ func (g *Grid) HorizAddCost(ch int, iv geom.Interval) int64 {
 		return 0
 	}
 	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
-	base := ch * g.Cols
+	row := g.densRow(ch)
 	var cost int64
 	for col := lo; col <= hi; col++ {
-		cost += 2*int64(g.Dens[base+col]) + 1
+		cost += 2*int64(row[col]) + 1
 	}
 	return cost
 }
@@ -120,7 +219,7 @@ func (g *Grid) VertAddCost(rowLo, rowHi, col int, ftBase int64) int64 {
 	col = g.clampCol(col)
 	var cost int64
 	for row := rowLo; row <= rowHi; row++ {
-		cost += ftBase + 2*int64(g.Ft[row*g.Cols+col])
+		cost += ftBase + 2*int64(g.ftRow(row)[col])
 	}
 	return cost
 }
@@ -136,10 +235,10 @@ func (g *Grid) SpanCost(from, to int, iv geom.Interval) int64 {
 		return 0
 	}
 	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
-	fromBase, toBase := from*g.Cols, to*g.Cols
+	fromRow, toRow := g.densRow(from), g.densRow(to)
 	var cost int64
 	for col := lo; col <= hi; col++ {
-		cost += 2 * (int64(g.Dens[toBase+col]) - int64(g.Dens[fromBase+col]) + 1)
+		cost += 2 * (int64(toRow[col]) - int64(fromRow[col]) + 1)
 	}
 	return cost
 }
@@ -151,10 +250,10 @@ func (g *Grid) MoveWire(from, to int, iv geom.Interval) {
 		return
 	}
 	lo, hi := g.ColOf(iv.Lo), g.ColOf(iv.Hi)
-	fromBase, toBase := from*g.Cols, to*g.Cols
+	fromRow, toRow := g.densRowMut(from), g.densRowMut(to)
 	for col := lo; col <= hi; col++ {
-		g.Dens[fromBase+col]--
-		g.Dens[toBase+col]++
+		fromRow[col]--
+		toRow[col]++
 	}
 }
 
@@ -170,7 +269,8 @@ func (g *Grid) VertMoveCost(rowLo, rowHi, fromCol, toCol int) int64 {
 	}
 	var cost int64
 	for row := rowLo; row <= rowHi; row++ {
-		cost += 2 * (int64(g.Ft[row*g.Cols+toCol]) - int64(g.Ft[row*g.Cols+fromCol]) + 1)
+		r := g.ftRow(row)
+		cost += 2 * (int64(r[toCol]) - int64(r[fromCol]) + 1)
 	}
 	return cost
 }
@@ -183,70 +283,112 @@ func (g *Grid) MoveVert(rowLo, rowHi, fromCol, toCol int) {
 		return
 	}
 	for row := rowLo; row <= rowHi; row++ {
-		g.Ft[row*g.Cols+fromCol]--
-		g.Ft[row*g.Cols+toCol]++
+		r := g.ftRowMut(row)
+		r[fromCol]--
+		r[toCol]++
 	}
 }
 
 // FtDemand returns the feedthrough demand at (row, col).
-func (g *Grid) FtDemand(row, col int) int { return int(g.Ft[row*g.Cols+col]) }
+func (g *Grid) FtDemand(row, col int) int { return int(g.ftRow(row)[col]) }
 
 // Density returns the horizontal-run count of channel ch at col.
-func (g *Grid) Density(ch, col int) int { return int(g.Dens[ch*g.Cols+col]) }
+func (g *Grid) Density(ch, col int) int { return int(g.densRow(ch)[col]) }
+
+// DensCounts returns a flat channel-major copy of the density counters,
+// the payload the net-wise allreduce ships; see FromCounts.
+func (g *Grid) DensCounts() []int32 {
+	out := make([]int32, g.Channels*g.Cols)
+	for ch := 0; ch < g.Channels; ch++ {
+		copy(out[ch*g.Cols:], g.densRow(ch))
+	}
+	return out
+}
+
+// FtCounts returns a flat row-major copy of the feedthrough counters.
+func (g *Grid) FtCounts() []int32 {
+	out := make([]int32, g.Rows*g.Cols)
+	for row := 0; row < g.Rows; row++ {
+		copy(out[row*g.Cols:], g.ftRow(row))
+	}
+	return out
+}
 
 // TotalFt returns the total feedthrough demand.
 func (g *Grid) TotalFt() int {
 	var n int32
-	for _, v := range g.Ft {
-		n += v
+	for _, slab := range g.ft {
+		for _, v := range slab {
+			n += v
+		}
 	}
 	return int(n)
 }
 
 // MaxChannelDensity returns the peak column density of channel ch.
 func (g *Grid) MaxChannelDensity(ch int) int {
-	base := ch * g.Cols
 	var m int32
-	for col := 0; col < g.Cols; col++ {
-		if d := g.Dens[base+col]; d > m {
+	for _, d := range g.densRow(ch) {
+		if d > m {
 			m = d
 		}
 	}
 	return int(m)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Unallocated bands stay unallocated.
 func (g *Grid) Clone() *Grid {
 	out := &Grid{Rows: g.Rows, Channels: g.Channels, Cols: g.Cols, ColWidth: g.ColWidth,
-		Dens: append([]int32(nil), g.Dens...),
-		Ft:   append([]int32(nil), g.Ft...)}
+		dens: make([][]int32, len(g.dens)),
+		ft:   make([][]int32, len(g.ft)),
+		zero: make([]int32, g.Cols)}
+	for b, slab := range g.dens {
+		if slab != nil {
+			out.dens[b] = append([]int32(nil), slab...)
+		}
+	}
+	for b, slab := range g.ft {
+		if slab != nil {
+			out.ft[b] = append([]int32(nil), slab...)
+		}
+	}
 	return out
 }
 
-// Zero resets all counters in place.
+// Zero resets all counters in place, keeping allocated bands allocated
+// (the caller is about to refill them).
 func (g *Grid) Zero() {
-	for i := range g.Dens {
-		g.Dens[i] = 0
+	for _, slab := range g.dens {
+		for i := range slab {
+			slab[i] = 0
+		}
 	}
-	for i := range g.Ft {
-		g.Ft[i] = 0
+	for _, slab := range g.ft {
+		for i := range slab {
+			slab[i] = 0
+		}
 	}
 }
 
 // AddFrom adds other's counters into g. The grids must have identical
 // shape; this is the merge step of the net-wise synchronization, and the
 // merged grid may have crossed the transport, so a shape mismatch is a
-// data error reported to the caller.
+// data error reported to the caller. Bands unallocated on both sides stay
+// unallocated — bands align because bandShift is a package constant.
 func (g *Grid) AddFrom(other *Grid) error {
 	if err := g.matchErr(other); err != nil {
 		return err
 	}
-	for i, v := range other.Dens {
-		g.Dens[i] += v
-	}
-	for i, v := range other.Ft {
-		g.Ft[i] += v
-	}
+	mergeSlabs(g, g.dens, other.dens, true, func(dst, src []int32) {
+		for i, v := range src {
+			dst[i] += v
+		}
+	})
+	mergeSlabs(g, g.ft, other.ft, false, func(dst, src []int32) {
+		for i, v := range src {
+			dst[i] += v
+		}
+	})
 	return nil
 }
 
@@ -256,13 +398,36 @@ func (g *Grid) SubFrom(other *Grid) error {
 	if err := g.matchErr(other); err != nil {
 		return err
 	}
-	for i, v := range other.Dens {
-		g.Dens[i] -= v
-	}
-	for i, v := range other.Ft {
-		g.Ft[i] -= v
-	}
+	mergeSlabs(g, g.dens, other.dens, true, func(dst, src []int32) {
+		for i, v := range src {
+			dst[i] -= v
+		}
+	})
+	mergeSlabs(g, g.ft, other.ft, false, func(dst, src []int32) {
+		for i, v := range src {
+			dst[i] -= v
+		}
+	})
 	return nil
+}
+
+// mergeSlabs applies combine to every band other has allocated, allocating
+// the matching band of g on demand. isDens selects which counter family
+// the band indices address.
+func mergeSlabs(g *Grid, dst, src [][]int32, isDens bool, combine func(dst, src []int32)) {
+	for b, slab := range src {
+		if slab == nil {
+			continue
+		}
+		if dst[b] == nil {
+			if isDens {
+				g.densRowMut(b << bandShift)
+			} else {
+				g.ftRowMut(b << bandShift)
+			}
+		}
+		combine(dst[b], slab)
+	}
 }
 
 func (g *Grid) matchErr(other *Grid) error {

@@ -13,8 +13,8 @@ func TestNewShape(t *testing.T) {
 	if g.Rows != 10 || g.Channels != 11 || g.Cols != 10 || g.ColWidth != 16 {
 		t.Fatalf("shape: %+v", g)
 	}
-	if len(g.Dens) != 11*10 || len(g.Ft) != 10*10 {
-		t.Fatalf("array sizes: %d, %d", len(g.Dens), len(g.Ft))
+	if len(g.DensCounts()) != 11*10 || len(g.FtCounts()) != 10*10 {
+		t.Fatalf("array sizes: %d, %d", len(g.DensCounts()), len(g.FtCounts()))
 	}
 	// Width rounds up.
 	g = New(2, 161, 16)
@@ -237,12 +237,12 @@ func TestAddRemoveInverseProperty(t *testing.T) {
 				g.AddVert(o.vr0, o.vr1, o.vcol, -1)
 			}
 		}
-		for _, v := range g.Dens {
+		for _, v := range g.DensCounts() {
 			if v != 0 {
 				return false
 			}
 		}
-		for _, v := range g.Ft {
+		for _, v := range g.FtCounts() {
 			if v != 0 {
 				return false
 			}

@@ -68,8 +68,10 @@ func hybridWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, bloc
 			rt = route.NewRouter(sub, ropt)
 			return nil
 		}),
-		stage("steiner", func(s *pipeline.Session) error {
-			rt.BuildTrees()
+		pipeline.Func("steiner", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.BuildTrees(ctx); err != nil {
+				return err
+			}
 			s.Count("segments", int64(len(rt.Segs)))
 			return nil
 		}),
@@ -83,9 +85,8 @@ func hybridWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, bloc
 			s.Count("inserted-fts", int64(rt.InsertedFts))
 			return nil
 		}),
-		stage("ft-assign", func(_ *pipeline.Session) error {
-			rt.AssignFeedthroughs()
-			return nil
+		pipeline.Func("ft-assign", func(ctx context.Context, _ *pipeline.Session) error {
+			return rt.AssignFeedthroughs(ctx)
 		}),
 		stage("connect", func(s *pipeline.Session) error {
 			// Ship every net's connection nodes (real pins and bound

@@ -415,19 +415,18 @@ func forEachChunk(n, chunks int, f func(lo, hi int) error) error {
 // allreduceGrid sums every rank's own-contribution grid into a fresh
 // global grid (returned on every rank).
 func allreduceGrid(comm mp.Comm, own *grid.Grid) (*grid.Grid, error) {
-	// Copy before sending: the sender keeps mutating its own grid, and mp
-	// payloads belong to the receiver after Send.
-	dens, err := mp.AllreduceInt32s(comm, tagGridSync, append([]int32(nil), own.Dens...), mp.SumInt32s)
+	// DensCounts/FtCounts return fresh copies, which the transport needs:
+	// the sender keeps mutating its own grid, and mp payloads belong to the
+	// receiver after Send.
+	dens, err := mp.AllreduceInt32s(comm, tagGridSync, own.DensCounts(), mp.SumInt32s)
 	if err != nil {
 		return nil, err
 	}
-	ft, err := mp.AllreduceInt32s(comm, tagGridSync, append([]int32(nil), own.Ft...), mp.SumInt32s)
+	ft, err := mp.AllreduceInt32s(comm, tagGridSync, own.FtCounts(), mp.SumInt32s)
 	if err != nil {
 		return nil, err
 	}
-	g := &grid.Grid{Rows: own.Rows, Channels: own.Channels, Cols: own.Cols,
-		ColWidth: own.ColWidth, Dens: dens, Ft: ft}
-	return g, nil
+	return grid.FromCounts(own.Rows, own.Cols, own.ColWidth, dens, ft)
 }
 
 // allreduceOcc sums every rank's own-wire occupancy into shared.

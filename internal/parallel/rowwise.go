@@ -67,8 +67,10 @@ func rowWiseWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, blo
 			rt = route.NewRouter(sub, ropt)
 			return nil
 		}),
-		stage("steiner", func(s *pipeline.Session) error {
-			rt.BuildTrees()
+		pipeline.Func("steiner", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.BuildTrees(ctx); err != nil {
+				return err
+			}
 			s.Count("segments", int64(len(rt.Segs)))
 			return nil
 		}),
@@ -82,12 +84,13 @@ func rowWiseWorker(ctx context.Context, comm mp.Comm, base *circuit.Circuit, blo
 			s.Count("inserted-fts", int64(rt.InsertedFts))
 			return nil
 		}),
-		stage("ft-assign", func(_ *pipeline.Session) error {
-			rt.AssignFeedthroughs()
-			return nil
+		pipeline.Func("ft-assign", func(ctx context.Context, _ *pipeline.Session) error {
+			return rt.AssignFeedthroughs(ctx)
 		}),
-		stage("connect", func(s *pipeline.Session) error {
-			rt.ConnectNets()
+		pipeline.Func("connect", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.ConnectNets(ctx); err != nil {
+				return err
+			}
 			s.Count("wires", int64(len(rt.Wires)))
 			s.Count("forced-edges", int64(rt.ForcedEdges))
 			return nil

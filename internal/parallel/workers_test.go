@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parroute/internal/gen"
+	"parroute/internal/mp"
+	"parroute/internal/route"
+)
+
+// TestWorkersByteIdentical pins the deterministic-reduction contract of the
+// intra-rank net parallelism: -workers is a throughput knob, never a quality
+// knob. The serial router's metrics JSON must be byte-identical at every
+// worker count — and, for primary2, identical to the committed workers=1
+// golden, so the pooled code path can never drift from the canonical output.
+func TestWorkersByteIdentical(t *testing.T) {
+	for _, name := range []string{"primary2", "biomed"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := gen.Benchmark(name, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []byte
+			for _, w := range []int{1, 2, 8} {
+				res, err := RunBaseline(context.Background(), c, Options{
+					Procs: 1,
+					Route: route.Options{Seed: 7, Workers: w},
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				got := resultBytes(t, res)
+				if w == 1 {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(ref, got) {
+					t.Fatalf("workers=%d metrics differ from workers=1 (len %d vs %d)",
+						w, len(got), len(ref))
+				}
+			}
+			if name == "primary2" {
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", "primary2-serial.json"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, ref) {
+					t.Fatal("workers sweep output differs from the committed golden")
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersByteIdenticalParallelDrivers runs the same sweep through a
+// parallel driver: intra-rank workers compose with inter-rank procs without
+// perturbing the result.
+func TestWorkersByteIdenticalParallelDrivers(t *testing.T) {
+	c, err := gen.Benchmark("primary2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		var ref []byte
+		for _, w := range []int{1, 8} {
+			res, err := Run(context.Background(), c, Options{
+				Algo:  algo,
+				Procs: 2,
+				Mode:  mp.Inproc,
+				Route: route.Options{Seed: 7, Workers: w},
+			})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, w, err)
+			}
+			got := resultBytes(t, res)
+			if w == 1 {
+				ref = got
+				continue
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("%v: workers=%d metrics differ from workers=1", algo, w)
+			}
+		}
+	}
+}

@@ -17,14 +17,18 @@ func BenchmarkPhases(b *testing.B) {
 	b.Run("steiner", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rt := NewRouter(c.Clone(), Options{Seed: 1})
-			rt.BuildTrees()
+			if err := rt.BuildTrees(context.Background()); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("coarse", func(b *testing.B) {
 		b.StopTimer()
 		for i := 0; i < b.N; i++ {
 			rt := NewRouter(c.Clone(), Options{Seed: 1})
-			rt.BuildTrees()
+			if err := rt.BuildTrees(context.Background()); err != nil {
+				b.Fatal(err)
+			}
 			b.StartTimer()
 			rt.CoarseRoute()
 			b.StopTimer()
@@ -59,11 +63,18 @@ func BenchmarkSwitchOpt(b *testing.B) {
 		b.Fatal(err)
 	}
 	rt := NewRouter(c.Clone(), Options{Seed: 1})
-	rt.BuildTrees()
+	ctx := context.Background()
+	if err := rt.BuildTrees(ctx); err != nil {
+		b.Fatal(err)
+	}
 	rt.CoarseRoute()
 	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
-	rt.ConnectNets()
+	if err := rt.AssignFeedthroughs(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.ConnectNets(ctx); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cp := append(rt.Wires[:0:0], rt.Wires...)

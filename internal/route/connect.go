@@ -109,7 +109,7 @@ func ConnectNodes(netID int, nodes []Node, occ *Occupancy) (conns []Connection, 
 // not safe for concurrent use.
 type Connector struct {
 	entries []chEntry
-	cands   []connCand
+	cands   []ConnCand
 	keys    []int64
 	uf      unionFind
 	conns   []Connection
@@ -121,8 +121,10 @@ type chEntry struct {
 	ch, x, idx int
 }
 
-// connCand is one candidate MST edge.
-type connCand struct {
+// ConnCand is one candidate MST edge produced by Prepare and consumed by
+// Commit. The fields are unexported: workers only ever move prepared
+// candidates around as opaque values.
+type ConnCand struct {
 	w    int64
 	u, v int
 }
@@ -150,6 +152,23 @@ const (
 func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []Connection, forced int) {
 	if len(nodes) < 2 {
 		return nil, 0
+	}
+	return cn.Commit(netID, nodes, cn.Prepare(nodes), occ)
+}
+
+// Prepare computes the sorted candidate-edge list of one net — everything
+// in Connect up to (but excluding) the Kruskal/occupancy commit. The
+// candidates depend only on the net's own nodes, never on the shared
+// occupancy, so Prepare calls for different nets are independent and safe
+// to fan out across workers; Commit then replays them serially in net
+// order, which is what keeps the occupancy-streamed switchable-channel
+// choices byte-identical to the fully serial router.
+//
+// The returned slice is the Connector's scratch, valid only until the next
+// Prepare call — callers that retain candidates must copy them.
+func (cn *Connector) Prepare(nodes []Node) []ConnCand {
+	if len(nodes) < 2 {
+		return nil
 	}
 
 	// One sorted pass over (channel, x, index) incidences replaces the
@@ -208,7 +227,7 @@ func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []C
 		if w >= 1<<(63-2*packIdxBits) {
 			packCands = false
 		}
-		cands = append(cands, connCand{w: w, u: entries[i-1].idx, v: entries[i].idx})
+		cands = append(cands, ConnCand{w: w, u: entries[i-1].idx, v: entries[i].idx})
 	}
 	if packCands {
 		keys := cn.keys[:0]
@@ -217,7 +236,7 @@ func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []C
 		}
 		slices.Sort(keys)
 		for i, k := range keys {
-			cands[i] = connCand{
+			cands[i] = ConnCand{
 				w: k >> (2 * packIdxBits),
 				u: int(k >> packIdxBits & (1<<packIdxBits - 1)),
 				v: int(k & (1<<packIdxBits - 1)),
@@ -225,7 +244,7 @@ func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []C
 		}
 		cn.keys = keys
 	} else {
-		slices.SortFunc(cands, func(a, b connCand) int {
+		slices.SortFunc(cands, func(a, b ConnCand) int {
 			if a.w != b.w {
 				return cmp.Compare(a.w, b.w)
 			}
@@ -236,7 +255,18 @@ func (cn *Connector) Connect(netID int, nodes []Node, occ *Occupancy) (conns []C
 		})
 	}
 	cn.cands = cands
+	return cands
+}
 
+// Commit is the serial tail of Connect: Kruskal over the prepared
+// candidates, streaming switchable-channel choices and the produced wires
+// through occ. Callers replaying prepared nets must commit them in net
+// order — the occupancy state at each commit is what the channel choices
+// depend on. The returned slice is the Connector's scratch; see Connect.
+func (cn *Connector) Commit(netID int, nodes []Node, cands []ConnCand, occ *Occupancy) (conns []Connection, forced int) {
+	if len(nodes) < 2 {
+		return nil, 0
+	}
 	uf := &cn.uf
 	uf.reset(len(nodes))
 	conns = cn.conns[:0]

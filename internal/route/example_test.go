@@ -33,12 +33,19 @@ func ExampleRoute() {
 // verification.
 func ExampleRouter_Verify() {
 	c := gen.Tiny(1)
+	ctx := context.Background()
 	rt := route.NewRouter(c.Clone(), route.Options{Seed: 1})
-	rt.BuildTrees()
+	if err := rt.BuildTrees(ctx); err != nil {
+		panic(err)
+	}
 	rt.CoarseRoute()
 	rt.InsertFeedthroughs()
-	rt.AssignFeedthroughs()
-	rt.ConnectNets()
+	if err := rt.AssignFeedthroughs(ctx); err != nil {
+		panic(err)
+	}
+	if err := rt.ConnectNets(ctx); err != nil {
+		panic(err)
+	}
 	rt.OptimizeSwitchable()
 	fmt.Println("verified:", rt.Verify() == nil)
 	// Output:

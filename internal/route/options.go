@@ -33,6 +33,12 @@ type Options struct {
 	// TrackPitch is the channel height contributed by one track, in the
 	// same units as cell height, used by the area model. Default 2.
 	TrackPitch int
+	// Workers bounds the intra-rank worker goroutines the per-net phases
+	// (steiner build, feedthrough sorting, net-connection preparation) fan
+	// out on. Routing output is byte-identical at every setting — the
+	// phases reduce in deterministic net/row order — so Workers is purely
+	// a wall-clock knob. Default 1 (run the phases inline).
+	Workers int
 }
 
 // Normalize fills zero fields with defaults.
@@ -51,5 +57,8 @@ func (o *Options) Normalize() {
 	}
 	if o.TrackPitch <= 0 {
 		o.TrackPitch = 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 }

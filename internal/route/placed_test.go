@@ -140,12 +140,12 @@ func TestRunsGridRoundTrip(t *testing.T) {
 		addRuns(g, runs, 1)
 		addRuns(g, runs, -1)
 	}
-	for _, v := range g.Dens {
+	for _, v := range g.DensCounts() {
 		if v != 0 {
 			t.Fatal("grid residue after add/remove")
 		}
 	}
-	for _, v := range g.Ft {
+	for _, v := range g.FtCounts() {
 		if v != 0 {
 			t.Fatal("ft residue after add/remove")
 		}
@@ -196,7 +196,7 @@ func TestPlaceViaExportedHelpers(t *testing.T) {
 			}
 			ApplyRuns(g, runs, 1)
 			ApplyRuns(g, runs, -1)
-			for _, v := range g.Dens {
+			for _, v := range g.DensCounts() {
 				if v != 0 {
 					t.Fatal("exported ApplyRuns not inverse")
 				}

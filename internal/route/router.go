@@ -3,6 +3,7 @@ package route
 import (
 	"cmp"
 	"context"
+	"fmt"
 	"slices"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"parroute/internal/pipeline"
 	"parroute/internal/rng"
 	"parroute/internal/steiner"
+	"parroute/internal/workpool"
 )
 
 // Router carries the state of one TWGR run. The phases mutate the attached
@@ -66,8 +68,10 @@ func Route(ctx context.Context, c *circuit.Circuit, opt Options) (*metrics.Resul
 // algorithms.
 func (rt *Router) Stages() []pipeline.Stage {
 	return []pipeline.Stage{
-		pipeline.Func("steiner", func(_ context.Context, s *pipeline.Session) error {
-			rt.BuildTrees()
+		pipeline.Func("steiner", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.BuildTrees(ctx); err != nil {
+				return err
+			}
 			s.Count("segments", int64(len(rt.Segs)))
 			return nil
 		}),
@@ -81,13 +85,17 @@ func (rt *Router) Stages() []pipeline.Stage {
 			s.Count("inserted-fts", int64(rt.InsertedFts))
 			return nil
 		}),
-		pipeline.Func("ft-assign", func(_ context.Context, s *pipeline.Session) error {
-			rt.AssignFeedthroughs()
+		pipeline.Func("ft-assign", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.AssignFeedthroughs(ctx); err != nil {
+				return err
+			}
 			s.Count("extra-fts", int64(rt.ExtraFts))
 			return nil
 		}),
-		pipeline.Func("connect", func(_ context.Context, s *pipeline.Session) error {
-			rt.ConnectNets()
+		pipeline.Func("connect", func(ctx context.Context, s *pipeline.Session) error {
+			if err := rt.ConnectNets(ctx); err != nil {
+				return err
+			}
 			s.Count("wires", int64(len(rt.Wires)))
 			s.Count("forced-edges", int64(rt.ForcedEdges))
 			return nil
@@ -114,24 +122,57 @@ func (rt *Router) Run(ctx context.Context, obs ...pipeline.Observer) (*metrics.R
 }
 
 // BuildTrees is step 1: the approximate Steiner tree of every net,
-// flattened into placed segments with resolved channel access.
-func (rt *Router) BuildTrees() {
-	// Each k-pin net contributes exactly k-1 segments.
-	total := 0
-	for n := range rt.C.Nets {
-		if k := len(rt.C.Nets[n].Pins); k >= 2 {
-			total += k - 1
+// flattened into placed segments with resolved channel access. Nets fan
+// out over Opt.Workers goroutines: a k-pin net contributes exactly k-1
+// segments (true for both the Prim and the large-net row-chain
+// constructions), so a prefix sum over degrees gives every net an exact
+// output slot in one segment arena — no reduction step, and the result is
+// byte-identical at every worker count.
+func (rt *Router) BuildTrees(ctx context.Context) error {
+	nets := rt.C.Nets
+	off := make([]int, len(nets)+1)
+	for n := range nets {
+		off[n+1] = off[n]
+		if k := len(nets[n].Pins); k >= 2 {
+			off[n+1] += k - 1
 		}
 	}
-	rt.Segs = slices.Grow(rt.Segs, total)
-	var b steiner.Builder
-	var segBuf []steiner.Segment
-	for n := range rt.C.Nets {
-		segBuf = b.AppendNet(segBuf[:0], rt.C, n)
-		for _, seg := range segBuf {
-			rt.Segs = append(rt.Segs, place(rt.C, seg))
-		}
+	total := off[len(nets)]
+	segs := slices.Grow(rt.Segs[:0], total)[:total]
+	workers := rt.Opt.Workers
+	builders := make([]treeBuilder, geom.Max(workers, 1))
+	err := workpool.DoChunks(ctx, workers, len(nets), workpool.Grain(len(nets), workers),
+		func(w, lo, hi int) error {
+			b := &builders[w]
+			for n := lo; n < hi; n++ {
+				if off[n+1] == off[n] {
+					continue
+				}
+				b.segBuf = b.b.AppendNet(b.segBuf[:0], rt.C, n)
+				out := segs[off[n]:off[n+1]]
+				if len(b.segBuf) != len(out) {
+					// The k-1 invariant is what makes the slots exact; a
+					// violation would silently corrupt neighboring nets.
+					return fmt.Errorf("route: net %d built %d segments, want %d",
+						n, len(b.segBuf), len(out))
+				}
+				for i := range b.segBuf {
+					out[i] = place(rt.C, b.segBuf[i])
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("route: steiner: %w", err)
 	}
+	rt.Segs = segs
+	return nil
+}
+
+// treeBuilder is one worker's reusable step-1 scratch.
+type treeBuilder struct {
+	b      steiner.Builder
+	segBuf []steiner.Segment
 }
 
 // UseSegments installs externally built segments (the parallel algorithms
@@ -276,52 +317,76 @@ type crossing struct {
 // row to a concrete feedthrough pin, matching both sides in x order (the
 // order-preserving matching minimizes total displacement). Binding a pin
 // attaches it to the segment's net, which makes it a step-4 node.
-func (rt *Router) AssignFeedthroughs() {
-	byRow := make([][]crossing, len(rt.C.Rows))
+//
+// The crossings live in one CSR arena (count pass, prefix sum, fill pass
+// — no per-row append chains), and the per-row sorts fan out over
+// Opt.Workers: each row's slices are disjoint, every comparator carries a
+// full tiebreak, and the binding itself replays serially in row order, so
+// the pin permutation is byte-identical at every worker count.
+func (rt *Router) AssignFeedthroughs(ctx context.Context) error {
+	rowCnt := make([]int, len(rt.C.Rows)+1)
 	for i := range rt.Segs {
 		runs := rt.Segs[i].CurrentRuns()
 		if !runs.HasVert() {
 			continue
 		}
 		for row := runs.VLo; row <= runs.VHi; row++ {
-			byRow[row] = append(byRow[row], crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i})
+			rowCnt[row+1]++
+		}
+	}
+	for r := 0; r < len(rt.C.Rows); r++ {
+		rowCnt[r+1] += rowCnt[r]
+	}
+	rowOff := rowCnt // rowOff[r]..rowOff[r+1] is row r's arena range
+	arena := make([]crossing, rowOff[len(rt.C.Rows)])
+	cursor := make([]int, len(rt.C.Rows))
+	copy(cursor, rowOff[:len(rt.C.Rows)])
+	for i := range rt.Segs {
+		runs := rt.Segs[i].CurrentRuns()
+		if !runs.HasVert() {
+			continue
+		}
+		for row := runs.VLo; row <= runs.VHi; row++ {
+			arena[cursor[row]] = crossing{net: rt.Segs[i].Seg.Net, x: runs.VCol, seg: i}
+			cursor[row]++
 		}
 	}
 	// Every crossing binds one feedthrough pin to its net; growing the
 	// nets' pin lists up front keeps the binding loop append-free.
-	netExtra := make(map[int]int)
-	for row := range byRow {
-		for _, cr := range byRow[row] {
-			netExtra[cr.net]++
-		}
+	netExtra := make([]int32, len(rt.C.Nets))
+	for i := range arena {
+		netExtra[arena[i].net]++
 	}
 	for n, extra := range netExtra {
-		rt.C.Nets[n].Pins = slices.Grow(rt.C.Nets[n].Pins, extra)
+		if extra > 0 {
+			rt.C.Nets[n].Pins = slices.Grow(rt.C.Nets[n].Pins, int(extra))
+		}
 	}
-	for row := range byRow {
-		crossings := byRow[row]
-		slices.SortFunc(crossings, func(a, b crossing) int {
-			if a.x != b.x {
-				return cmp.Compare(a.x, b.x)
-			}
-			if a.net != b.net {
-				return cmp.Compare(a.net, b.net)
-			}
-			// Two same-net segments can cross a row at the same x; the
-			// segment index makes the order (and thus the pin binding)
-			// independent of sort internals.
-			return cmp.Compare(a.seg, b.seg)
-		})
+	err := workpool.DoChunks(ctx, rt.Opt.Workers, len(rt.C.Rows), 1, func(_, lo, hi int) error {
+		for row := lo; row < hi; row++ {
+			crossings := arena[rowOff[row]:rowOff[row+1]]
+			slices.SortFunc(crossings, func(a, b crossing) int {
+				if a.x != b.x {
+					return cmp.Compare(a.x, b.x)
+				}
+				if a.net != b.net {
+					return cmp.Compare(a.net, b.net)
+				}
+				// Two same-net segments can cross a row at the same x; the
+				// segment index makes the order (and thus the pin binding)
+				// independent of sort internals.
+				return cmp.Compare(a.seg, b.seg)
+			})
+			rt.sortRowFts(rt.FtPinsByRow[row])
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("route: ft-assign: %w", err)
+	}
+	for row := range rt.C.Rows {
+		crossings := arena[rowOff[row]:rowOff[row+1]]
 		fts := rt.FtPinsByRow[row]
-		slices.SortFunc(fts, func(a, b int) int {
-			if ax, bx := rt.C.Pins[a].X, rt.C.Pins[b].X; ax != bx {
-				return cmp.Compare(ax, bx)
-			}
-			// Same-x feedthrough pins are interchangeable for routing,
-			// but break the tie by pin ID so the binding permutation is
-			// deterministic rather than sort-internal.
-			return cmp.Compare(a, b)
-		})
 		for i, cr := range crossings {
 			var pinID int
 			if i < len(fts) {
@@ -343,6 +408,40 @@ func (rt *Router) AssignFeedthroughs() {
 	if rt.ExtraFts > 0 {
 		rt.refreshSegs()
 	}
+	return nil
+}
+
+// sortRowFts orders one row's unbound feedthrough pins by (x, pin ID).
+// When both values fit the packed bit budget — always, for realistic
+// circuits — the sort runs comparator-free over packed int64 keys; the
+// comparator fallback preserves the identical order otherwise.
+func (rt *Router) sortRowFts(fts []int) {
+	pack := true
+	for _, pid := range fts {
+		if x := rt.C.Pins[pid].X; x < 0 || x >= 1<<packXBits || pid >= 1<<(62-packXBits) {
+			pack = false
+			break
+		}
+	}
+	if pack {
+		for i, pid := range fts {
+			fts[i] = rt.C.Pins[pid].X<<(62-packXBits) | pid
+		}
+		slices.Sort(fts)
+		for i, k := range fts {
+			fts[i] = k & (1<<(62-packXBits) - 1)
+		}
+		return
+	}
+	slices.SortFunc(fts, func(a, b int) int {
+		if ax, bx := rt.C.Pins[a].X, rt.C.Pins[b].X; ax != bx {
+			return cmp.Compare(ax, bx)
+		}
+		// Same-x feedthrough pins are interchangeable for routing,
+		// but break the tie by pin ID so the binding permutation is
+		// deterministic rather than sort-internal.
+		return cmp.Compare(a, b)
+	})
 }
 
 // bindFt attaches an unbound feedthrough pin to a net.
@@ -357,40 +456,122 @@ func (rt *Router) bindFt(pinID, netID int) {
 // streamed through a live occupancy so each switchable connection starts
 // in the channel that is cheaper at the moment it is placed; step 5 then
 // iterates on those choices.
-func (rt *Router) ConnectNets() {
+//
+// With Opt.Workers > 1 the phase splits: candidate preparation (node
+// gathering plus Connector.Prepare — the sort-dominated bulk of step 4,
+// independent of the occupancy) fans out over per-net slots carved from
+// one arena, and the occupancy-streaming Commit then replays the prepared
+// nets serially in net order. The commit order, not the preparation
+// order, is what the switchable-channel choices depend on, so the output
+// is byte-identical at every worker count.
+func (rt *Router) ConnectNets(ctx context.Context) error {
 	occ := NewOccupancy(rt.C.NumChannels(), rt.C.CoreWidth(), rt.Opt.GridColWidth)
 	rt.NetNodes = make([][]Node, len(rt.C.Nets))
 	// A k-node net yields exactly k-1 connections, so the output size
 	// is known up front; per-net node lists carve out of one arena.
-	total, totalNodes := 0, 0
-	for n := range rt.C.Nets {
-		if k := len(rt.C.Nets[n].Pins); k >= 2 {
+	nets := rt.C.Nets
+	nodeOff := make([]int, len(nets)+1)
+	total := 0
+	for n := range nets {
+		nodeOff[n+1] = nodeOff[n]
+		if k := len(nets[n].Pins); k >= 2 {
+			nodeOff[n+1] += k
 			total += k - 1
-			totalNodes += k
 		}
 	}
 	rt.Conns = slices.Grow(rt.Conns, total)
 	rt.Wires = slices.Grow(rt.Wires, total)
-	arena := make([]Node, 0, totalNodes)
+	arena := make([]Node, nodeOff[len(nets)])
+
+	workers := rt.Opt.Workers
+	if workers <= 1 {
+		// Inline fast path: prepare and commit each net in one pass, with
+		// no candidate retention. Identical output to the split form.
+		var cn Connector
+		for n := range nets {
+			if nodeOff[n+1] == nodeOff[n] {
+				continue
+			}
+			if n&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("route: connect: %w", err)
+				}
+			}
+			nodes := rt.netNodesInto(arena, nodeOff, n)
+			conns, forced := cn.Connect(n, nodes, occ)
+			rt.takeConns(conns, nodes, forced)
+		}
+		return nil
+	}
+
+	// Parallel prepare: per-worker Connectors and candidate arenas; the
+	// per-net candidate lists are retained as sub-slices for the commit.
+	candLists := make([][]ConnCand, len(nets))
+	prep := make([]connPrep, workers)
+	err := workpool.DoChunks(ctx, workers, len(nets), workpool.Grain(len(nets), workers),
+		func(w, lo, hi int) error {
+			p := &prep[w]
+			for n := lo; n < hi; n++ {
+				if nodeOff[n+1] == nodeOff[n] {
+					continue
+				}
+				nodes := rt.netNodesInto(arena, nodeOff, n)
+				cands := p.cn.Prepare(nodes)
+				at := len(p.arena)
+				p.arena = append(p.arena, cands...)
+				candLists[n] = p.arena[at:len(p.arena):len(p.arena)]
+			}
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("route: connect: %w", err)
+	}
+
+	// Serial commit in net order against the live occupancy.
 	var cn Connector
-	for n := range rt.C.Nets {
-		pins := rt.C.Nets[n].Pins
-		if len(pins) < 2 {
+	for n := range nets {
+		if nodeOff[n+1] == nodeOff[n] {
 			continue
 		}
-		nodes := arena[len(arena) : len(arena)+len(pins) : len(arena)+len(pins)]
-		arena = arena[:len(arena)+len(pins)]
-		for i, pid := range pins {
-			p := &rt.C.Pins[pid]
-			nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
+		if n&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("route: connect: %w", err)
+			}
 		}
-		rt.NetNodes[n] = nodes
-		conns, forced := cn.Connect(n, nodes, occ)
-		rt.ForcedEdges += forced
-		for i := range conns {
-			rt.Conns = append(rt.Conns, conns[i])
-			rt.Wires = append(rt.Wires, conns[i].Wire(nodes))
-		}
+		nodes := rt.NetNodes[n]
+		conns, forced := cn.Commit(n, nodes, candLists[n], occ)
+		rt.takeConns(conns, nodes, forced)
+	}
+	return nil
+}
+
+// connPrep is one worker's step-4 preparation state: its Connector
+// scratch and the growing arena its nets' retained candidate lists carve
+// sub-slices from.
+type connPrep struct {
+	cn    Connector
+	arena []ConnCand
+}
+
+// netNodesInto fills net n's node list into its arena slot and records it
+// in NetNodes.
+func (rt *Router) netNodesInto(arena []Node, nodeOff []int, n int) []Node {
+	pins := rt.C.Nets[n].Pins
+	nodes := arena[nodeOff[n]:nodeOff[n+1]:nodeOff[n+1]]
+	for i, pid := range pins {
+		p := &rt.C.Pins[pid]
+		nodes[i] = Node{X: p.X, Row: p.Row, Side: p.Side, Pin: pid}
+	}
+	rt.NetNodes[n] = nodes
+	return nodes
+}
+
+// takeConns appends one committed net's connections and wires.
+func (rt *Router) takeConns(conns []Connection, nodes []Node, forced int) {
+	rt.ForcedEdges += forced
+	for i := range conns {
+		rt.Conns = append(rt.Conns, conns[i])
+		rt.Wires = append(rt.Wires, conns[i].Wire(nodes))
 	}
 }
 

@@ -69,19 +69,22 @@ func TestRouteDeterministic(t *testing.T) {
 func TestRouterCircuitStaysValidThroughPhases(t *testing.T) {
 	c := gen.Small(5)
 	rt := NewRouter(c.Clone(), Options{Seed: 5})
+	ctx := context.Background()
 	steps := []struct {
 		name string
-		f    func()
+		f    func() error
 	}{
-		{"trees", rt.BuildTrees},
-		{"coarse", rt.CoarseRoute},
-		{"insert", rt.InsertFeedthroughs},
-		{"assign", rt.AssignFeedthroughs},
-		{"connect", rt.ConnectNets},
-		{"switch", rt.OptimizeSwitchable},
+		{"trees", func() error { return rt.BuildTrees(ctx) }},
+		{"coarse", func() error { rt.CoarseRoute(); return nil }},
+		{"insert", func() error { rt.InsertFeedthroughs(); return nil }},
+		{"assign", func() error { return rt.AssignFeedthroughs(ctx) }},
+		{"connect", func() error { return rt.ConnectNets(ctx) }},
+		{"switch", func() error { rt.OptimizeSwitchable(); return nil }},
 	}
 	for _, s := range steps {
-		s.f()
+		if err := s.f(); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
 		if err := rt.C.Validate(); err != nil {
 			t.Fatalf("circuit invalid after %s: %v", s.name, err)
 		}
@@ -240,7 +243,9 @@ func TestUseSegmentsMatchesBuildTrees(t *testing.T) {
 	// Installing externally built segments must behave like BuildTrees.
 	c := gen.Tiny(29)
 	rtA := NewRouter(c.Clone(), Options{Seed: 2})
-	rtA.BuildTrees()
+	if err := rtA.BuildTrees(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 
 	var raw []steiner.Segment
 	for n := range c.Nets {

@@ -13,11 +13,22 @@ import (
 // fed with the final step-4 wires rather than step-2 estimates. The
 // parallel algorithms preload it with neighbor wires ("background") so a
 // worker evaluates flips against everything known to occupy its channels.
+//
+// Counts are sharded into row-band slabs of occBandDefault channels each,
+// allocated lazily on first write. A rank of the parallel algorithms only
+// ever writes the channels of its own row block, so at million-cell scale
+// its peak occupancy footprint is O(its band of rows), not O(the whole
+// design); reads of untouched bands resolve to a shared zero row.
 type Occupancy struct {
 	Channels int
 	Cols     int
 	ColWidth int
-	occ      []int32
+	// bands[b] holds the column counts of channels [b<<bandShift,
+	// (b+1)<<bandShift) channel-major; nil until one of them is written.
+	// zero is the shared all-zero row nil-band reads resolve to.
+	bands     [][]int32
+	bandShift uint
+	zero      []int32
 	// chMax caches each channel's peak column count, and chPeakCnt how many
 	// columns attain it, so AddCost and MoveCost only walk the affected
 	// span. A cache entry is maintained through non-negative Adds (the peak
@@ -28,17 +39,35 @@ type Occupancy struct {
 	chMaxOK   []bool
 }
 
+// occBandDefault is the default band granularity: channels per lazily
+// allocated slab. Power of two so the band of a channel is a shift.
+const occBandDefault = 8
+
 // NewOccupancy returns an empty occupancy table.
 func NewOccupancy(channels, coreWidth, colWidth int) *Occupancy {
+	return NewOccupancyBands(channels, coreWidth, colWidth, occBandDefault)
+}
+
+// NewOccupancyBands is NewOccupancy with an explicit band granularity
+// (channels per slab, rounded up to a power of two). The granularity only
+// moves the laziness/footprint trade-off; counts, costs and peaks are
+// identical at every setting — the differential tests sweep it.
+func NewOccupancyBands(channels, coreWidth, colWidth, band int) *Occupancy {
 	if colWidth <= 0 {
 		// Constructor contract: a non-positive quantum is a caller bug,
 		// never a data condition (Options.Normalize enforces it upstream).
 		panic(fmt.Sprintf("route: occupancy colWidth %d must be positive", colWidth)) //lint:allow panic-in-library documented constructor invariant
 	}
+	var shift uint
+	for 1<<shift < band {
+		shift++
+	}
 	cols := (geom.Max(coreWidth, 1) + colWidth - 1) / colWidth
 	o := &Occupancy{Channels: channels, Cols: cols, ColWidth: colWidth,
-		occ:   make([]int32, channels*cols),
-		chMax: make([]int32, channels), chPeakCnt: make([]int32, channels),
+		bands:     make([][]int32, (channels+1<<shift-1)>>shift),
+		bandShift: shift,
+		zero:      make([]int32, cols),
+		chMax:     make([]int32, channels), chPeakCnt: make([]int32, channels),
 		chMaxOK: make([]bool, channels)}
 	for ch := range o.chMaxOK {
 		o.chMaxOK[ch] = true // empty channels peak at 0, on every column
@@ -47,14 +76,38 @@ func NewOccupancy(channels, coreWidth, colWidth int) *Occupancy {
 	return o
 }
 
+// row returns channel ch's column counts for reading; untouched bands
+// resolve to the shared zero row. Callers must not write through it.
+func (o *Occupancy) row(ch int) []int32 {
+	if s := o.bands[ch>>o.bandShift]; s != nil {
+		off := (ch & (1<<o.bandShift - 1)) * o.Cols
+		return s[off : off+o.Cols : off+o.Cols]
+	}
+	return o.zero
+}
+
+// rowMut returns channel ch's column counts for writing, allocating the
+// band slab on first touch.
+func (o *Occupancy) rowMut(ch int) []int32 {
+	b := ch >> o.bandShift
+	s := o.bands[b]
+	if s == nil {
+		n := geom.Min(o.Channels-b<<o.bandShift, 1<<o.bandShift)
+		s = make([]int32, n*o.Cols)
+		o.bands[b] = s
+	}
+	off := (ch & (1<<o.bandShift - 1)) * o.Cols
+	return s[off : off+o.Cols : off+o.Cols]
+}
+
 // channelMax returns the peak column count of channel ch, recomputing the
 // cache (peak and peak-column count) if it was invalidated.
 func (o *Occupancy) channelMax(ch int) int32 {
 	if !o.chMaxOK[ch] {
-		base := ch * o.Cols
+		row := o.row(ch)
 		var m, cnt int32
-		for col := 0; col < o.Cols; col++ {
-			switch v := o.occ[base+col]; {
+		for _, v := range row {
+			switch {
 			case v > m:
 				m, cnt = v, 1
 			case v == m:
@@ -76,18 +129,18 @@ func (o *Occupancy) Add(ch int, span geom.Interval, delta int32) {
 		return
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
-	base := ch * o.Cols
+	row := o.rowMut(ch)
 	if delta < 0 {
 		o.chMaxOK[ch] = false // the peak may shrink; recompute on demand
 		for col := lo; col <= hi; col++ {
-			o.occ[base+col] += delta
+			row[col] += delta
 		}
 		return
 	}
 	for col := lo; col <= hi; col++ {
-		o.occ[base+col] += delta
+		row[col] += delta
 		if o.chMaxOK[ch] {
-			switch v := o.occ[base+col]; {
+			switch v := row[col]; {
 			case v > o.chMax[ch]:
 				o.chMax[ch] = v
 				o.chPeakCnt[ch] = 1
@@ -108,12 +161,12 @@ func (o *Occupancy) AddWires(wires []metrics.Wire) {
 }
 
 // At returns the occupation of channel ch at column col.
-func (o *Occupancy) At(ch, col int) int { return int(o.occ[ch*o.Cols+col]) }
+func (o *Occupancy) At(ch, col int) int { return int(o.row(ch)[col]) }
 
 // ChannelCounts returns a copy of one channel's column counts; the
 // parallel algorithms exchange these slices for shared boundary channels.
 func (o *Occupancy) ChannelCounts(ch int) []int32 {
-	return append([]int32(nil), o.occ[ch*o.Cols:(ch+1)*o.Cols]...)
+	return append([]int32(nil), o.row(ch)...)
 }
 
 // AddChannelCounts adds externally supplied column counts into channel
@@ -124,9 +177,9 @@ func (o *Occupancy) AddChannelCounts(ch int, counts []int32) error {
 		return fmt.Errorf("route: channel counts length %d, want %d", len(counts), o.Cols)
 	}
 	o.chMaxOK[ch] = false // transported counts may be negative deltas
-	base := ch * o.Cols
+	row := o.rowMut(ch)
 	for col, v := range counts {
-		o.occ[base+col] += v
+		row[col] += v
 	}
 	return nil
 }
@@ -134,21 +187,41 @@ func (o *Occupancy) AddChannelCounts(ch int, counts []int32) error {
 // Counts returns a copy of all column counts (channel-major), the payload
 // the net-wise algorithm synchronizes between workers.
 func (o *Occupancy) Counts() []int32 {
-	return append([]int32(nil), o.occ...)
+	out := make([]int32, o.Channels*o.Cols)
+	for ch := 0; ch < o.Channels; ch++ {
+		copy(out[ch*o.Cols:], o.row(ch))
+	}
+	return out
 }
 
 // SetCounts replaces all column counts. Like AddChannelCounts, the
 // payload crosses the transport, so a length mismatch is a returned
-// error.
+// error. Bands that are zero in the payload and were never touched stay
+// unallocated.
 func (o *Occupancy) SetCounts(counts []int32) error {
-	if len(counts) != len(o.occ) {
-		return fmt.Errorf("route: occupancy counts length %d, want %d", len(counts), len(o.occ))
+	if len(counts) != o.Channels*o.Cols {
+		return fmt.Errorf("route: occupancy counts length %d, want %d", len(counts), o.Channels*o.Cols)
 	}
-	copy(o.occ, counts)
+	for ch := 0; ch < o.Channels; ch++ {
+		seg := counts[ch*o.Cols : (ch+1)*o.Cols]
+		if o.bands[ch>>o.bandShift] == nil && allZero32(seg) {
+			continue
+		}
+		copy(o.rowMut(ch), seg)
+	}
 	for ch := range o.chMaxOK {
 		o.chMaxOK[ch] = false
 	}
 	return nil
+}
+
+func allZero32(s []int32) bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // maxWeight scales the peak-density component of MoveCost above any
@@ -169,11 +242,11 @@ func (o *Occupancy) AddCost(ch int, span geom.Interval) int64 {
 		return 0
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
-	base := ch * o.Cols
 	max := int64(o.channelMax(ch))
+	row := o.row(ch)
 	var spanMax, squares int64
 	for col := lo; col <= hi; col++ {
-		v := int64(o.occ[base+col])
+		v := int64(row[col])
 		squares += 2*v + 1
 		if v > spanMax {
 			spanMax = v
@@ -207,15 +280,15 @@ func (o *Occupancy) MoveCost(from, to int, span geom.Interval) int64 {
 		return 0
 	}
 	lo, hi := o.colOf(span.Lo), o.colOf(span.Hi)
-	fromBase, toBase := from*o.Cols, to*o.Cols
 	maxFrom := int64(o.channelMax(from))
 	maxTo := int64(o.channelMax(to))
+	fromRow, toRow := o.row(from), o.row(to)
 
 	var spanMaxTo, squares int64
 	var fromPeakInSpan int32
 	for col := lo; col <= hi; col++ {
-		f := int64(o.occ[fromBase+col])
-		t := int64(o.occ[toBase+col])
+		f := int64(fromRow[col])
+		t := int64(toRow[col])
 		// Squares delta: -(2f-1) for the removal, +(2t+1) for the add.
 		squares += 2*t + 1 - (2*f - 1)
 		if t > spanMaxTo {

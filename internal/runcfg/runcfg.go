@@ -32,6 +32,7 @@ const AlgoSerial = "serial"
 type Run struct {
 	Algo     string        // serial | rowwise | netwise | hybrid
 	Procs    int           // worker count for the parallel algorithms
+	Workers  int           // per-rank worker goroutines of the per-net routing phases
 	Engine   string        // virtual | inproc | tcp
 	Platform string        // virtual-engine cost model: smp | dmp
 	Seed     uint64        // routing seed
@@ -48,6 +49,7 @@ func Default() Run {
 	return Run{
 		Algo:      AlgoSerial,
 		Procs:     1,
+		Workers:   1,
 		Engine:    "virtual",
 		Platform:  "smp",
 		Seed:      1,
@@ -65,6 +67,7 @@ func Default() Run {
 func AddFlags(fs *flag.FlagSet, r *Run) {
 	fs.StringVar(&r.Algo, "algo", r.Algo, "serial | rowwise | netwise | hybrid")
 	fs.IntVar(&r.Procs, "p", r.Procs, "worker count for the parallel algorithms")
+	fs.IntVar(&r.Workers, "workers", r.Workers, "per-rank worker goroutines of the per-net routing phases (output is identical at every setting)")
 	fs.StringVar(&r.Engine, "engine", r.Engine, "virtual | inproc | tcp")
 	fs.StringVar(&r.Platform, "platform", r.Platform, "cost model for the virtual engine: smp | dmp")
 	fs.Uint64Var(&r.Seed, "seed", r.Seed, "routing seed")
@@ -105,7 +108,7 @@ func (r *Run) Validate() error {
 func (r *Run) Options() (parallel.Options, error) {
 	opts := parallel.Options{
 		Procs: r.Procs,
-		Route: route.Options{Seed: r.Seed},
+		Route: route.Options{Seed: r.Seed, Workers: r.Workers},
 	}
 	if !r.Serial() {
 		algo, err := r.Algorithm()
@@ -155,6 +158,9 @@ func (r *Run) Options() (parallel.Options, error) {
 	}
 	if r.Procs <= 0 {
 		return parallel.Options{}, fmt.Errorf("runcfg: procs must be positive, got %d", r.Procs)
+	}
+	if r.Workers < 0 {
+		return parallel.Options{}, fmt.Errorf("runcfg: workers must be non-negative, got %d (0 means the default of 1)", r.Workers)
 	}
 	return opts, nil
 }

@@ -47,6 +47,7 @@ func TestFlagTable(t *testing.T) {
 		{"preset", "", "route a named synthetic benchmark circuit"},
 		{"seed", "1", "routing seed"},
 		{"timeout", "0s", "abort the run after this long, e.g. 30s (0 = no limit)"},
+		{"workers", "1", "per-rank worker goroutines of the per-net routing phases (output is identical at every setting)"},
 	}
 	got := tableOf(fs) // VisitAll iterates in lexical order
 	if !reflect.DeepEqual(got, want) {
@@ -224,6 +225,16 @@ func TestOptionsResolution(t *testing.T) {
 		t.Errorf("seed/procs not carried: %+v", opts)
 	}
 
+	r = Default()
+	r.Workers = 8
+	opts, err = r.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Route.Workers != 8 {
+		t.Errorf("workers not carried into route options: %+v", opts.Route)
+	}
+
 	rejects := []Run{
 		func() Run { r := Default(); r.Algo = "quantum"; return r }(),
 		func() Run { r := Default(); r.Engine = "udp"; return r }(),
@@ -232,6 +243,7 @@ func TestOptionsResolution(t *testing.T) {
 		func() Run { r := Default(); r.ChaosPlan = "drop=eleven"; return r }(),
 		func() Run { r := Default(); r.ChaosPlan = "drop=0.1"; return r }(), // chaos on serial
 		func() Run { r := Default(); r.Procs = 0; return r }(),
+		func() Run { r := Default(); r.Workers = -1; return r }(),
 	}
 	for i, r := range rejects {
 		if err := r.Validate(); err == nil {

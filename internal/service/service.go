@@ -245,7 +245,11 @@ func (s *Server) resolve(spec JobSpec) (resolved, error) {
 	}
 
 	run := runcfg.Run{
-		Algo:     spec.Algo,
+		Algo: spec.Algo,
+		// Intra-rank route workers are a daemon-level knob (-workers), not
+		// a job field: routing output is byte-identical at every setting,
+		// so it never enters the cache key either.
+		Workers:  d.Workers,
 		Procs:    spec.Procs,
 		Engine:   spec.Engine,
 		Platform: spec.Platform,

@@ -9,11 +9,19 @@
 package steiner
 
 import (
+	"slices"
 	"sort"
 
 	"parroute/internal/circuit"
 	"parroute/internal/geom"
 	"parroute/internal/mst"
+)
+
+// Bit budget of the packed (Y, X, index) sort keys in appendLargeNet: pin
+// index in the low bits, x above it, row on top.
+const (
+	sortIdxBits = 20
+	sortXBits   = 31
 )
 
 // VerticalCost is the MST distance weight of one row of vertical span
@@ -97,6 +105,7 @@ func BuildNet(c *circuit.Circuit, netID int) []Segment {
 type Builder struct {
 	pts   []geom.Point
 	order []int
+	keys  []int64
 	ms    mst.Scratch
 }
 
@@ -157,16 +166,41 @@ func (b *Builder) appendLargeNet(dst []Segment, netID int, pinIDs []int, pts []g
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if pts[ia].Y != pts[ib].Y {
-			return pts[ia].Y < pts[ib].Y
+	// Sort (Y, X, index) lexicographically. When the coordinates fit the
+	// key budget — rows below 2^12, 0 <= x < 2^31, under 2^20 pins, i.e.
+	// every realistic clock net — the sort runs comparator-free over packed
+	// int64 keys; the reflective sort.Slice fallback only exists for
+	// adversarial inputs.
+	pack := len(pts) <= 1<<sortIdxBits
+	for i := range pts {
+		if pts[i].X < 0 || pts[i].X >= 1<<sortXBits ||
+			pts[i].Y < 0 || pts[i].Y >= 1<<(63-sortIdxBits-sortXBits) {
+			pack = false
+			break
 		}
-		if pts[ia].X != pts[ib].X {
-			return pts[ia].X < pts[ib].X
+	}
+	if pack {
+		keys := b.keys[:0]
+		for i, p := range pts {
+			keys = append(keys, int64(p.Y)<<(sortIdxBits+sortXBits)|int64(p.X)<<sortIdxBits|int64(i))
 		}
-		return ia < ib
-	})
+		slices.Sort(keys)
+		for i, k := range keys {
+			order[i] = int(k & (1<<sortIdxBits - 1))
+		}
+		b.keys = keys
+	} else {
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if pts[ia].Y != pts[ib].Y {
+				return pts[ia].Y < pts[ib].Y
+			}
+			if pts[ia].X != pts[ib].X {
+				return pts[ia].X < pts[ib].X
+			}
+			return ia < ib
+		})
+	}
 	var prevRow []int // previous populated row's pin order, sorted by x
 	for lo := 0; lo < len(order); {
 		hi := lo

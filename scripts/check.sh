@@ -83,10 +83,11 @@ step "chaos soak (seed 2)" chaos_soak 2
 
 # Cancellation tier: cancelling mid-stage must unwind every algorithm on
 # every engine with an error wrapping context.Canceled and zero leaked
-# goroutines (see DESIGN.md §10).
+# goroutines (see DESIGN.md §10). Since PR-10 this includes the intra-rank
+# worker pool and the pooled routing stages (see DESIGN.md §15).
 cancel_tier() {
   go test -race -count=1 -run 'RunContext|RunBackground|Cancel|SerialDeadline|ParallelTimeout' \
-    ./internal/mp ./internal/parallel
+    ./internal/mp ./internal/parallel ./internal/route ./internal/workpool
 }
 step "cancellation tier" cancel_tier
 
@@ -102,6 +103,18 @@ soak_tier() {
 }
 step "service soak (twgrd load + byte parity)" soak_tier
 
+# Scale smoke tier: route synth.100k end to end within wall/RSS budgets
+# (DESIGN.md §15) — catches memory-layout regressions (eager band shards,
+# arena reverting to per-net allocation) at a size where they hurt. The
+# million-cell preset is opt-in: SCALE_1M=1 extends the tier to synth.1m.
+scale_tier() {
+  go test -count=1 -run 'TestScaleSmoke100k' . &&
+    if [ -n "${SCALE_1M:-}" ]; then
+      go test -count=1 -timeout 30m -run 'TestScale1M' .
+    fi
+}
+step "scale smoke (synth.100k budgets)" scale_tier
+
 # Bench smoke: the serial hot path still runs end to end under the
 # benchmark harness, and the committed perf baseline stays parseable
 # under the current report schema (see DESIGN.md §9).
@@ -111,6 +124,7 @@ bench_smoke() {
 step "bench smoke (serial route)" bench_smoke
 step "perf baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR4.json
 step "framed-wire baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR9.json
+step "scale baseline readable" go run ./cmd/benchtab -checkjson BENCH_PR10.json
 
 # Trace smoke: `twgr -trace` emits a timeline that `-checktrace` accepts,
 # for both the live serial recorder and the merged parallel phases (see
